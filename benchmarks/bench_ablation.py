@@ -1,0 +1,243 @@
+"""Experiment E8 — ablations for the design choices in DESIGN.md and the
+paper's Section V-C future work.
+
+Covers:
+* set granularity (rows per set) vs achievable latency;
+* duplication cut axis (width vs height, Fig. 4);
+* static vs dynamic intra-layer ordering (Stage III);
+* greedy vs exact-DP duplication solver (Optimization Problem 1);
+* NoC/data-movement cost sensitivity (Sec. V-C);
+* crossbar-size retargetability (Sec. V-C: "CLSA-CIM is already
+  designed to accept the crossbar dimensions as an input parameter").
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import format_table
+from repro.arch import paper_case_study, small_crossbar
+from repro.core import ScheduleOptions, SetGranularity, compile_model
+from repro.mapping import (
+    continuous_lower_bound,
+    minimum_pe_requirement,
+    problem_from_tilings,
+    solve,
+    tile_graph,
+)
+from repro.models import CASE_STUDY
+from repro.sim import CostModelConfig, NocCostModel, simulate
+
+EXTRA = 16
+
+
+def combo_options(**overrides):
+    return ScheduleOptions(mapping="wdup", scheduling="clsa-cim", **overrides)
+
+
+def test_ablation_set_granularity(benchmark, results_dir, tinyyolov4_canonical):
+    """Finer sets -> lower latency, monotonically (up to noise)."""
+    arch = paper_case_study(CASE_STUDY.min_pes + EXTRA)
+
+    def run(rows_per_set):
+        options = combo_options(granularity=SetGranularity(rows_per_set=rows_per_set))
+        return compile_model(
+            tinyyolov4_canonical, arch, options, assume_canonical=True
+        ).latency_cycles
+
+    latencies = benchmark.pedantic(
+        lambda: {rows: run(rows) for rows in (1, 2, 4, 8, 16)}, rounds=1, iterations=1
+    )
+    assert latencies[1] <= latencies[4] <= latencies[16]
+    rows = [(f"{r} row(s)/set", cycles) for r, cycles in latencies.items()]
+    write_artifact(
+        results_dir,
+        "ablation_granularity.txt",
+        "Set granularity vs latency (TinyYOLOv4, wdup+xinf+16)\n"
+        + format_table(["Granularity", "Latency (cycles)"], rows),
+    )
+
+
+def test_ablation_duplication_axis(benchmark, results_dir, tinyyolov4_canonical):
+    """Width cuts pipeline better than height cuts (module docstring of
+    repro.mapping.rewrite)."""
+    arch = paper_case_study(CASE_STUDY.min_pes + EXTRA)
+
+    def run(axis):
+        options = combo_options(duplication_axis=axis)
+        return compile_model(
+            tinyyolov4_canonical, arch, options, assume_canonical=True
+        ).latency_cycles
+
+    results = benchmark.pedantic(
+        lambda: {axis: run(axis) for axis in ("width", "height")},
+        rounds=1,
+        iterations=1,
+    )
+    assert results["width"] < results["height"]
+    write_artifact(
+        results_dir,
+        "ablation_dup_axis.txt",
+        "Duplication cut axis (TinyYOLOv4, wdup+xinf+16)\n"
+        + format_table(
+            ["Axis", "Latency (cycles)"],
+            [(axis, cycles) for axis, cycles in results.items()],
+        ),
+    )
+
+
+def test_ablation_order_mode(benchmark, results_dir, tinyyolov4_canonical):
+    """Dynamic (ready-order) Stage III beats any fixed static order."""
+    arch = paper_case_study(CASE_STUDY.min_pes + EXTRA)
+
+    def run_all():
+        out = {}
+        out["dynamic"] = compile_model(
+            tinyyolov4_canonical, arch, combo_options(order_mode="dynamic"),
+            assume_canonical=True,
+        ).latency_cycles
+        for policy in ("row_major", "reverse_row_major", "even_odd"):
+            out[f"static/{policy}"] = compile_model(
+                tinyyolov4_canonical,
+                arch,
+                combo_options(order_mode="static", intra_layer_policy=policy),
+                assume_canonical=True,
+            ).latency_cycles
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # greedy list scheduling carries no optimality guarantee, so allow
+    # a small tolerance against the best static order...
+    assert results["dynamic"] <= 1.05 * min(
+        v for k, v in results.items() if k.startswith("static")
+    )
+    # ...but it must clearly beat a genuinely adversarial static order
+    assert results["dynamic"] < results["static/even_odd"]
+    write_artifact(
+        results_dir,
+        "ablation_order_mode.txt",
+        "Stage III ordering (TinyYOLOv4, wdup+xinf+16)\n"
+        + format_table(["Order mode", "Latency (cycles)"], list(results.items())),
+    )
+
+
+def test_ablation_duplication_solver(benchmark, results_dir, tinyyolov4_canonical):
+    """Greedy vs exact DP vs continuous bound on Optimization Problem 1."""
+    tilings = tile_graph(tinyyolov4_canonical, paper_case_study(1).crossbar)
+
+    def run():
+        rows = []
+        for x in (4, 8, 16, 32, 64):
+            problem = problem_from_tilings(tilings, budget=CASE_STUDY.min_pes + x)
+            greedy = solve(problem, "greedy").objective
+            dp = solve(problem, "dp").objective
+            bound = continuous_lower_bound(problem)
+            assert bound <= dp + 1e-6 <= greedy + 1e-3
+            rows.append((f"x={x}", f"{greedy:.0f}", f"{dp:.0f}", f"{bound:.0f}",
+                         f"{greedy / dp:.4f}"))
+        return rows
+
+    rows = benchmark(run)
+    write_artifact(
+        results_dir,
+        "ablation_solver.txt",
+        "Optimization Problem 1 solvers (TinyYOLOv4; objective = sum t_i/d_i)\n"
+        + format_table(
+            ["Budget", "Greedy", "Exact DP", "Cont. bound", "Greedy/DP"], rows
+        ),
+    )
+
+
+def test_ablation_noc_cost(benchmark, results_dir, tinyyolov4_canonical):
+    """Sec. V-C: how sensitive are the gains to data-movement costs?"""
+    arch = paper_case_study(CASE_STUDY.min_pes + EXTRA)
+    compiled = compile_model(
+        tinyyolov4_canonical, arch, combo_options(), assume_canonical=True
+    )
+
+    def run():
+        free = simulate(compiled).finish_cycles
+        rows = [("free forwarding (paper)", free, "1.000")]
+        for bytes_per_element in (1, 2, 4):
+            model = NocCostModel(
+                compiled.mapped,
+                compiled.placement,
+                CostModelConfig(bytes_per_element=bytes_per_element),
+            )
+            priced = simulate(compiled, model).finish_cycles
+            rows.append(
+                (f"NoC cost, {bytes_per_element} B/elem", priced,
+                 f"{priced / free:.3f}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    free = rows[0][1]
+    assert all(latency >= free for _, latency, _ in rows[1:])
+    write_artifact(
+        results_dir,
+        "ablation_noc_cost.txt",
+        "Data-movement sensitivity (TinyYOLOv4, wdup+xinf+16)\n"
+        + format_table(["Cost model", "Latency (cycles)", "vs free"], rows),
+    )
+
+
+def test_ablation_crossbar_size(benchmark, results_dir, tinyyolov4_canonical):
+    """Retargetability: smaller crossbars need more PEs (Eq. 1) but the
+    scheduler runs unchanged."""
+
+    def run():
+        rows = []
+        for dim in (256, 128, 64):
+            crossbar_arch = (
+                paper_case_study(1) if dim == 256 else small_crossbar(1, dim)
+            )
+            min_pes = minimum_pe_requirement(
+                tinyyolov4_canonical, crossbar_arch.crossbar
+            )
+            arch = crossbar_arch.with_num_pes(min_pes + EXTRA)
+            compiled = compile_model(
+                tinyyolov4_canonical, arch, combo_options(), assume_canonical=True
+            )
+            rows.append((f"{dim}x{dim}", min_pes, compiled.latency_cycles))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    pe_minima = [row[1] for row in rows]
+    assert pe_minima[0] < pe_minima[1] < pe_minima[2]
+    write_artifact(
+        results_dir,
+        "ablation_crossbar.txt",
+        "Crossbar-size retargetability (TinyYOLOv4, wdup+xinf+16)\n"
+        + format_table(["Crossbar", "PE_min", "Latency (cycles)"], rows),
+    )
+
+
+def test_ablation_bit_slicing(benchmark, results_dir, tinyyolov4_canonical):
+    """Bit slicing (extension): higher weight precision costs PEs.
+
+    With 4-bit cells, 8-bit weights need 2 cells each, halving the
+    effective crossbar columns of Eq. 1 and raising every PE minimum —
+    the precision/area trade-off the paper's single-cell quantization
+    sidesteps.
+    """
+    from repro.arch import CrossbarSpec
+
+    def run():
+        rows = []
+        for cells in (1, 2, 4):
+            xbar = CrossbarSpec(cells_per_weight=cells)
+            min_pes = minimum_pe_requirement(tinyyolov4_canonical, xbar)
+            rows.append(
+                (f"{cells} cell(s)/weight ({xbar.weight_bits}-bit)", min_pes)
+            )
+        return rows
+
+    rows = benchmark(run)
+    minima = [row[1] for row in rows]
+    assert minima[0] == 117  # the paper's configuration
+    assert minima[0] < minima[1] < minima[2]
+    write_artifact(
+        results_dir,
+        "ablation_bit_slicing.txt",
+        "Bit slicing vs PE minimum (TinyYOLOv4)\n"
+        + format_table(["Configuration", "PE_min"], rows),
+    )

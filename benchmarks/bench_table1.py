@@ -1,0 +1,48 @@
+"""Experiment E1 — Table I: TinyYOLOv4 base-layer structure.
+
+Regenerates the paper's Table I (layer, IFM, OFM, #PE, t_init cycles)
+and asserts the six published rows exactly.  The benchmark measures the
+full pipeline that produces the table: model build, preprocessing, and
+Eq. 1 tiling.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import table1
+from repro.arch import CrossbarSpec
+from repro.frontend import preprocess
+from repro.mapping import layer_table, minimum_pe_requirement
+from repro.models import CASE_STUDY, tiny_yolo_v4
+
+#: The rows of Table I as printed in the paper.
+PUBLISHED_ROWS = {
+    "conv2d": ((417, 417, 3), (208, 208, 32), 1, 43264),
+    "conv2d_1": ((209, 209, 32), (104, 104, 64), 2, 10816),
+    "conv2d_2": ((106, 106, 64), (104, 104, 64), 3, 10816),
+    "conv2d_16": ((15, 15, 256), (13, 13, 512), 18, 169),
+    "conv2d_20": ((26, 26, 256), (26, 26, 255), 1, 676),
+    "conv2d_17": ((13, 13, 512), (13, 13, 255), 2, 169),
+}
+
+
+def build_table1_rows():
+    """The full Table I pipeline: build -> canonicalize -> tile."""
+    canonical = preprocess(tiny_yolo_v4(), quantization=None).graph
+    return layer_table(canonical, CrossbarSpec()), canonical
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    rows, canonical = benchmark(build_table1_rows)
+
+    by_layer = {row["layer"]: row for row in rows}
+    for layer, (ifm, ofm, pes, cycles) in PUBLISHED_ROWS.items():
+        row = by_layer[layer]
+        assert row["ifm"] == ifm, f"{layer}: IFM {row['ifm']} != {ifm}"
+        assert row["ofm"] == ofm, f"{layer}: OFM {row['ofm']} != {ofm}"
+        assert row["num_pes"] == pes, f"{layer}: #PE {row['num_pes']} != {pes}"
+        assert row["cycles"] == cycles, f"{layer}: cycles {row['cycles']} != {cycles}"
+
+    assert minimum_pe_requirement(canonical, CrossbarSpec()) == CASE_STUDY.min_pes
+    assert len(canonical.base_layers()) == CASE_STUDY.base_layers
+
+    write_artifact(results_dir, "table1.txt", table1())

@@ -1,0 +1,36 @@
+"""Experiment E2 — Table II: benchmark list with PE minima.
+
+Regenerates the paper's Table II for all six benchmarks and asserts the
+published base-layer counts and 256x256-crossbar PE minima exactly.
+The benchmark measures the minimum-PE computation across the suite.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis import table2
+from repro.arch import CrossbarSpec
+from repro.mapping import minimum_pe_requirement
+from repro.models import PAPER_BENCHMARKS
+
+
+def measure_pe_minima(graphs):
+    return {
+        name: minimum_pe_requirement(graph, CrossbarSpec())
+        for name, graph in graphs.items()
+    }
+
+
+def test_table2_regeneration(benchmark, results_dir, canonical_benchmarks):
+    minima = benchmark(measure_pe_minima, canonical_benchmarks)
+
+    for spec in PAPER_BENCHMARKS:
+        assert minima[spec.name] == spec.min_pes, (
+            f"{spec.name}: measured {minima[spec.name]} PEs, "
+            f"paper says {spec.min_pes}"
+        )
+        canonical = canonical_benchmarks[spec.name]
+        assert len(canonical.base_layers()) == spec.base_layers
+        input_shape = canonical.shape_of(canonical.input_names()[0]).hwc
+        assert input_shape == spec.input_shape
+
+    write_artifact(results_dir, "table2.txt", table2())

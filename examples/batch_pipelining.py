@@ -1,0 +1,70 @@
+"""Batch pipelining: pushing utilization beyond a single inference.
+
+The paper observes that one inference "usually remains below 10 %"
+utilization.  Since CIM weights are stationary, back-to-back inferences
+pipeline through the array with no remapping: image b+1 enters a layer
+the moment its PEs free up from image b.  This example measures
+latency, throughput and utilization versus batch size on TinyYOLOv4,
+and prints the energy picture (static energy amortizes over the batch).
+
+Run:  python examples/batch_pipelining.py
+"""
+
+from repro import ScheduleOptions, compile_model, paper_case_study, preprocess
+from repro.analysis import format_table
+from repro.core import cross_layer_schedule_batch, validate_batch_schedule
+from repro.models import CASE_STUDY
+from repro.sim import estimate_energy
+
+
+def main():
+    canonical = preprocess(CASE_STUDY.build(), quantization=None).graph
+    arch = paper_case_study(CASE_STUDY.min_pes + 16)
+    compiled = compile_model(
+        canonical,
+        arch,
+        ScheduleOptions(mapping="wdup", scheduling="clsa-cim"),
+        assume_canonical=True,
+    )
+    print(f"model: TinyYOLOv4 on {arch.summary()}")
+    print(f"single-inference latency: {compiled.latency_cycles} cycles "
+          f"({compiled.latency_ns / 1e6:.2f} ms)")
+    print(estimate_energy(compiled).summary())
+    print()
+
+    busy_per_image = sum(
+        compiled.placement.tilings[layer].num_pes * cycles
+        for layer, cycles in compiled.schedule.busy_cycles().items()
+    )
+
+    rows = []
+    for batch_size in (1, 2, 4, 8, 16):
+        result = cross_layer_schedule_batch(
+            compiled.mapped, compiled.dependencies, batch_size
+        )
+        validate_batch_schedule(result, compiled.dependencies)
+        utilization = (
+            batch_size * busy_per_image / (arch.num_pes * result.makespan)
+        )
+        rows.append(
+            (
+                batch_size,
+                result.makespan,
+                f"{result.steady_state_interval:.0f}",
+                f"{result.throughput_images_per_ms(arch.t_mvm_ns):.2f}",
+                f"{100 * utilization:.1f}%",
+            )
+        )
+    print(format_table(
+        ["Batch", "Makespan (cyc)", "Cycles/image", "Images/ms", "Utilization"],
+        rows,
+    ))
+    print(
+        "\nUtilization climbs with batch size because pipelined images fill "
+        "the idle time of the many-PE late layers — the headroom the paper's "
+        "'below 10 % for a single inference' remark points at."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Functional verification: the compiler transformations preserve the math.
+
+Scheduling experiments only need layer geometry, but every rewrite in
+this library is also *numerically* faithful.  This example runs a real
+forward pass through each stage on random data and reports the output
+error introduced at every step:
+
+* BN folding + partitioning       -> exact (float tolerance),
+* weight duplication (Fig. 4)     -> exact,
+* 4-bit RRAM-cell quantization    -> bounded by the quantization grid.
+
+Run:  python examples/quantized_functional_check.py
+"""
+
+import numpy as np
+
+from repro import QuantizationConfig, preprocess
+from repro.analysis import format_table
+from repro.arch import CrossbarSpec
+from repro.ir import Executor, GraphBuilder
+from repro.mapping import (
+    DuplicationSolution,
+    apply_duplication,
+    problem_from_tilings,
+    tile_graph,
+)
+
+
+def build_model():
+    b = GraphBuilder("func-check")
+    x = b.input((32, 32, 3), name="image")
+    x = b.conv_bn_act(x, 8, kernel=3, strides=2, activation="leaky_relu")
+    x = b.conv_bn_act(x, 16, kernel=3, strides=1, activation="relu")
+    x = b.maxpool(x, 2)
+    x = b.conv2d(x, 24, kernel=1, use_bias=True)
+    g = b.graph
+    g.initialize_weights(seed=2024)
+    return g
+
+
+def max_error(a, b):
+    return float(np.abs(a - b).max())
+
+
+def main():
+    model = build_model()
+    image = np.random.default_rng(7).normal(size=(32, 32, 3))
+    reference = Executor(model).run_single(image)
+    print(f"reference output shape: {reference.shape}, "
+          f"|max| = {np.abs(reference).max():.3f}\n")
+    rows = []
+
+    # 1. Canonicalization (BN folding, pad/bias decoupling) — exact.
+    canonical = preprocess(model, quantization=None).graph
+    out = Executor(canonical).run_single(image)
+    rows.append(("canonicalization (Sec. III-A)", f"{max_error(out, reference):.2e}"))
+
+    # 2. Weight duplication of the first conv — exact.
+    tilings = tile_graph(canonical, CrossbarSpec())
+    budget = sum(t.num_pes for t in tilings.values()) + 3
+    problem = problem_from_tilings(tilings, budget=budget)
+    first = problem.layers[0]
+    solution = DuplicationSolution(
+        problem=problem,
+        d={name: (4 if name == first else 1) for name in problem.layers},
+        method="manual",
+    )
+    duplicated = apply_duplication(canonical, solution).graph
+    out = Executor(duplicated).run_single(image)
+    rows.append(("weight duplication x4 (Fig. 4)", f"{max_error(out, reference):.2e}"))
+
+    # 3. Quantization to 4-bit cells — bounded error.
+    for bits in (8, 4, 2):
+        report = preprocess(model, quantization=QuantizationConfig(weight_bits=bits))
+        out = Executor(report.graph).run_single(image)
+        rows.append(
+            (f"{bits}-bit cell quantization", f"{max_error(out, reference):.2e}")
+        )
+
+    print(format_table(["Transformation", "max |output error|"], rows))
+    print(
+        "\nCanonicalization and duplication are exact; quantization error "
+        "shrinks with cell resolution (RRAM cells offer up to 4 bits [4])."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""CLSA-CIM reproduction: cross-layer scheduling for tiled CIM architectures.
+
+Reproduces Pelke et al., "CLSA-CIM: A Cross-Layer Scheduling Approach
+for Computing-in-Memory Architectures" (DATE 2024).
+
+Subpackages
+-----------
+``repro.ir``
+    NN graph IR, shape inference, region propagation, numpy executor.
+``repro.frontend``
+    Preprocessing: BN folding, partitioning, quantization (Sec. III-A).
+``repro.arch``
+    Tiled CIM architecture model (Sec. II-A).
+``repro.mapping``
+    im2col / PE tiling (Sec. III-B) and weight duplication (Sec. III-C).
+``repro.core``
+    The CLSA-CIM four-stage scheduler and baselines (Sec. IV).
+``repro.sim``
+    System-level simulator, utilization/speedup metrics (Sec. V).
+``repro.models``
+    Model zoo matching the paper's benchmarks (Tables I and II).
+``repro.analysis``
+    Sweeps, tables and Gantt exports regenerating the paper's artifacts.
+"""
+
+__version__ = "1.0.0"
+
+from .arch import ArchitectureConfig, CrossbarSpec, paper_case_study  # noqa: E402
+from .core import ScheduleOptions, SetGranularity, compile_model  # noqa: E402
+from .frontend import QuantizationConfig, preprocess  # noqa: E402
+from .mapping import minimum_pe_requirement  # noqa: E402
+from .sim import evaluate, simulate  # noqa: E402
+
+__all__ = [
+    "ArchitectureConfig",
+    "CrossbarSpec",
+    "QuantizationConfig",
+    "ScheduleOptions",
+    "SetGranularity",
+    "__version__",
+    "compile_model",
+    "evaluate",
+    "minimum_pe_requirement",
+    "paper_case_study",
+    "preprocess",
+    "simulate",
+]

@@ -1,0 +1,116 @@
+"""Critical-path extraction from schedules.
+
+Answers "what limits this schedule's latency?": starting from the
+last-finishing set, walk backwards through whichever constraint was
+*binding* at each step — a data dependency whose producer finished
+exactly when the set became ready, or the layer's own previous set
+(resource dependency).  The per-layer summary shows where latency
+accumulates, which is how the duplication-axis and ordering issues in
+this reproduction were diagnosed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dependencies import SetRef
+from ..core.pipeline import CompiledModel
+from ..core.schedule import SetTask
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One task on the critical path."""
+
+    layer: str
+    set_index: int
+    start: int
+    end: int
+    #: 'data' (bound by a producer set), 'resource' (bound by the same
+    #: layer's previous set) or 'source' (started at its ready time).
+    bound_by: str
+
+
+def critical_path(compiled: CompiledModel, max_steps: int = 100_000) -> list[CriticalStep]:
+    """The chain of binding tasks ending at the schedule's makespan.
+
+    Requires a CLSA-CIM compilation (set-level dependencies present).
+    Returned in execution order (earliest step first).
+    """
+    if compiled.dependencies is None:
+        raise ValueError("critical_path needs a CLSA-CIM compilation")
+    schedule = compiled.schedule
+    deps = compiled.dependencies.deps
+    task_of: dict[SetRef, SetTask] = {
+        (task.layer, task.set_index): task for task in schedule.tasks
+    }
+    by_layer: dict[str, list[SetTask]] = {}
+    for task in schedule.tasks:
+        by_layer.setdefault(task.layer, []).append(task)
+    for tasks in by_layer.values():
+        tasks.sort(key=lambda t: t.start)
+
+    steps: list[CriticalStep] = []
+    current = max(schedule.tasks, key=lambda t: t.end)
+    for _ in range(max_steps):
+        preds = deps[(current.layer, current.set_index)]
+        binding_data = None
+        for ref in preds:
+            producer = task_of[ref]
+            if producer.end == current.start and (
+                binding_data is None or producer.end > binding_data.end
+            ):
+                binding_data = producer
+        if binding_data is not None:
+            steps.append(
+                CriticalStep(current.layer, current.set_index, current.start,
+                             current.end, "data")
+            )
+            current = binding_data
+            continue
+        # resource-bound: the previous task on this layer ends at start
+        layer_tasks = by_layer[current.layer]
+        index = layer_tasks.index(current)
+        if index > 0 and layer_tasks[index - 1].end == current.start:
+            steps.append(
+                CriticalStep(current.layer, current.set_index, current.start,
+                             current.end, "resource")
+            )
+            current = layer_tasks[index - 1]
+            continue
+        steps.append(
+            CriticalStep(current.layer, current.set_index, current.start,
+                         current.end, "source")
+        )
+        break
+    steps.reverse()
+    return steps
+
+
+def critical_layer_summary(
+    compiled: CompiledModel, steps: list[CriticalStep] | None = None
+) -> dict[str, int]:
+    """Cycles each *original* layer contributes to the critical path."""
+    if steps is None:
+        steps = critical_path(compiled)
+    totals: dict[str, int] = {}
+    for step in steps:
+        origin = compiled.origin_of_layer(step.layer)
+        totals[origin] = totals.get(origin, 0) + (step.end - step.start)
+    return totals
+
+
+def format_critical_path(compiled: CompiledModel, limit: int = 20) -> str:
+    """Human-readable critical-path report (top contributors first)."""
+    steps = critical_path(compiled)
+    summary = critical_layer_summary(compiled, steps)
+    total = sum(summary.values())
+    lines = [
+        f"critical path: {len(steps)} steps, {total} cycles "
+        f"(makespan {compiled.latency_cycles})"
+    ]
+    ranked = sorted(summary.items(), key=lambda item: -item[1])
+    for layer, cycles in ranked[:limit]:
+        share = 100.0 * cycles / total if total else 0.0
+        lines.append(f"  {layer:<28} {cycles:>8} cycles  {share:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Machine-readable exports of sweep results (CSV and JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .sweep import SweepResult
+
+#: Column order of the CSV export.
+CSV_HEADER = (
+    "benchmark,config,extra_pes,label,latency_cycles,latency_ns,"
+    "speedup,utilization,num_pes"
+)
+
+
+def sweep_to_csv(results: Sequence[SweepResult]) -> str:
+    """Flatten sweeps into CSV text (baseline rows included)."""
+    lines = [CSV_HEADER]
+    for result in results:
+        baseline = result.baseline
+        lines.append(
+            f"{result.benchmark},layer-by-layer,0,layer-by-layer,"
+            f"{baseline.latency_cycles},{baseline.latency_ns:.1f},"
+            f"1.0,{baseline.utilization:.6f},{baseline.num_pes}"
+        )
+        for point in result.points:
+            metrics = point.metrics
+            lines.append(
+                f"{result.benchmark},{point.config},{point.extra_pes},"
+                f"{point.label},{metrics.latency_cycles},"
+                f"{metrics.latency_ns:.1f},{point.speedup:.6f},"
+                f"{point.utilization:.6f},{metrics.num_pes}"
+            )
+    return "\n".join(lines)
+
+
+def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str:
+    """Serialize sweeps to JSON (one object per benchmark)."""
+    payload = []
+    for result in results:
+        payload.append(
+            {
+                "benchmark": result.benchmark,
+                "min_pes": result.min_pes,
+                "baseline": {
+                    "latency_cycles": result.baseline.latency_cycles,
+                    "utilization": result.baseline.utilization,
+                    "num_pes": result.baseline.num_pes,
+                },
+                "points": [
+                    {
+                        "config": point.config,
+                        "extra_pes": point.extra_pes,
+                        "label": point.label,
+                        "latency_cycles": point.metrics.latency_cycles,
+                        "speedup": point.speedup,
+                        "utilization": point.utilization,
+                        "num_pes": point.metrics.num_pes,
+                    }
+                    for point in result.points
+                ],
+            }
+        )
+    return json.dumps(payload, indent=indent)

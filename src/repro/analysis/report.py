@@ -1,0 +1,112 @@
+"""Textual reports of sweep results (the Fig. 6(c) / Fig. 7 panels)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .sweep import SweepResult
+from .tables import format_table
+
+
+def fig7a_report(results: Sequence[SweepResult]) -> str:
+    """Fig. 7(a): inference speedup vs layer-by-layer, per benchmark."""
+    headers = ["Benchmark", "xinf"]
+    xs = sorted({p.extra_pes for r in results for p in r.points if p.config == "wdup"})
+    headers += [f"wdup+{x}" for x in xs] + [f"wdup+xinf+{x}" for x in xs]
+    rows = []
+    for result in results:
+        row: list[object] = [result.benchmark]
+        xinf = result.series("xinf")[0]
+        row.append(f"{xinf.speedup:.2f}x")
+        for config in ("wdup", "wdup+xinf"):
+            series = {p.extra_pes: p for p in result.series(config)}
+            for x in xs:
+                row.append(f"{series[x].speedup:.2f}x" if x in series else "-")
+        rows.append(row)
+    return "Fig. 7(a) — speedup over layer-by-layer\n" + format_table(headers, rows)
+
+
+def fig7b_report(results: Sequence[SweepResult]) -> str:
+    """Fig. 7(b): PE utilization (Eq. 2), per benchmark."""
+    headers = ["Benchmark", "layer-by-layer", "xinf"]
+    xs = sorted({p.extra_pes for r in results for p in r.points if p.config == "wdup"})
+    headers += [f"wdup+{x}" for x in xs] + [f"wdup+xinf+{x}" for x in xs]
+    rows = []
+    for result in results:
+        row: list[object] = [result.benchmark, f"{100 * result.baseline.utilization:.2f}%"]
+        xinf = result.series("xinf")[0]
+        row.append(f"{100 * xinf.utilization:.2f}%")
+        for config in ("wdup", "wdup+xinf"):
+            series = {p.extra_pes: p for p in result.series(config)}
+            for x in xs:
+                row.append(f"{100 * series[x].utilization:.2f}%" if x in series else "-")
+        rows.append(row)
+    return "Fig. 7(b) — PE utilization (Eq. 2)\n" + format_table(headers, rows)
+
+
+def fig6c_report(result: SweepResult) -> str:
+    """Fig. 6(c): the TinyYOLOv4 case-study panel."""
+    headers = ["Configuration", "Speedup", "Utilization"]
+    rows: list[list[object]] = [
+        ["layer-by-layer", "1.00x", f"{100 * result.baseline.utilization:.2f}%"]
+    ]
+    for point in sorted(result.points, key=lambda p: (p.config, p.extra_pes)):
+        rows.append(
+            [point.label, f"{point.speedup:.2f}x", f"{100 * point.utilization:.2f}%"]
+        )
+    return (
+        f"Fig. 6(c) — {result.benchmark} case study "
+        f"(PE_min = {result.min_pes})\n" + format_table(headers, rows)
+    )
+
+
+def layer_utilization_report(compiled, limit: int = 15) -> str:
+    """Per-original-layer activity: busy share of the makespan.
+
+    Shows the paper's core imbalance: early layers busy for most of the
+    inference while PE-hungry late layers idle (Sec. V-B discussion).
+    """
+    makespan = compiled.schedule.makespan
+    busy = compiled.schedule.busy_cycles()
+    per_origin: dict[str, tuple[int, int]] = {}
+    for layer, cycles in busy.items():
+        origin = compiled.origin_of_layer(layer)
+        num_pes = compiled.placement.tilings[layer].num_pes
+        prev_cycles, prev_pes = per_origin.get(origin, (0, 0))
+        per_origin[origin] = (prev_cycles + cycles * num_pes, prev_pes + num_pes)
+    rows = []
+    for origin, (pe_cycles, num_pes) in per_origin.items():
+        share = pe_cycles / (num_pes * makespan) if makespan else 0.0
+        rows.append((origin, num_pes, f"{100 * share:.1f}%"))
+    rows.sort(key=lambda row: -float(row[2].rstrip("%")))
+    return (
+        f"per-layer PE activity ({compiled.options.paper_name}, "
+        f"makespan {makespan} cycles)\n"
+        + format_table(["Layer", "#PE", "Busy share"], rows[:limit])
+    )
+
+
+def headline_summary(results: Sequence[SweepResult]) -> str:
+    """The abstract's headline numbers: best speedup and best
+    utilization gain across all benchmarks."""
+    best_speedup = max(
+        (point for result in results for point in result.points),
+        key=lambda p: p.speedup,
+    )
+    best_gain = max(
+        (
+            (point, point.utilization / result.baseline.utilization)
+            for result in results
+            for point in result.points
+        ),
+        key=lambda item: item[1],
+    )
+    point, gain = best_gain
+    return (
+        f"Best speedup: {best_speedup.speedup:.1f}x "
+        f"({best_speedup.benchmark}, {best_speedup.label}) "
+        f"[paper: up to 29.2x]\n"
+        f"Best utilization gain: {gain:.1f}x "
+        f"({point.benchmark}, {point.label}, {100 * point.utilization:.1f}%) "
+        f"[paper: up to 17.9x, 20.1%]"
+    )

@@ -1,0 +1,150 @@
+"""Configuration sweeps reproducing the paper's evaluation (Sec. V).
+
+``benchmark_sweep`` runs one model through the paper's configuration
+grid — layer-by-layer baseline, ``wdup+x``, ``xinf``, ``wdup+xinf+x``
+for ``x in {4, 8, 16, 32}`` — and returns speedups and utilizations
+relative to the baseline, i.e. the data series of Figures 6(c), 7(a)
+and 7(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..arch.presets import paper_case_study
+from ..core.pipeline import ScheduleOptions, compile_model
+from ..frontend.partitioning import is_canonical
+from ..frontend.pipeline import preprocess
+from ..ir.graph import Graph
+from ..mapping.tiling import minimum_pe_requirement
+from ..models.zoo import BenchmarkSpec
+from ..sim.metrics import Metrics, evaluate
+
+#: The paper's extra-PE sweep values (Sec. V-B).
+PAPER_XS = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One evaluated (configuration, x) point."""
+
+    benchmark: str
+    config: str  # 'layer-by-layer' | 'wdup' | 'xinf' | 'wdup+xinf'
+    extra_pes: int
+    metrics: Metrics
+    speedup: float
+    utilization: float
+
+    @property
+    def label(self) -> str:
+        """Plot-style label, e.g. ``wdup+16``."""
+        if self.config in ("layer-by-layer", "xinf"):
+            return self.config
+        return f"{self.config.replace('+xinf', '')}+{self.extra_pes}" + (
+            "+xinf" if "xinf" in self.config else ""
+        )
+
+
+@dataclass
+class SweepResult:
+    """All configuration points of one benchmark."""
+
+    benchmark: str
+    min_pes: int
+    baseline: Metrics
+    points: list[ConfigPoint] = field(default_factory=list)
+
+    def best_speedup(self) -> ConfigPoint:
+        """The point with the highest speedup."""
+        return max(self.points, key=lambda p: p.speedup)
+
+    def best_utilization(self) -> ConfigPoint:
+        """The point with the highest utilization."""
+        return max(self.points, key=lambda p: p.utilization)
+
+    def series(self, config: str) -> list[ConfigPoint]:
+        """Points of one configuration, ordered by extra PEs."""
+        return sorted(
+            (p for p in self.points if p.config == config),
+            key=lambda p: p.extra_pes,
+        )
+
+
+def benchmark_sweep(
+    spec: BenchmarkSpec,
+    xs: Sequence[int] = PAPER_XS,
+    options_overrides: Optional[dict] = None,
+    graph: Optional[Graph] = None,
+) -> SweepResult:
+    """Run the paper's configuration grid for one benchmark.
+
+    Parameters
+    ----------
+    spec:
+        Benchmark descriptor (model + published structural numbers).
+    xs:
+        Extra-PE values for the wdup configurations.
+    options_overrides:
+        Extra :class:`ScheduleOptions` fields applied to every
+        configuration (e.g. a coarser granularity for quick runs).
+    graph:
+        Pre-built model graph (rebuilt from ``spec`` when omitted).
+
+    Returns
+    -------
+    SweepResult
+        Baseline metrics plus one :class:`ConfigPoint` per
+        configuration: ``xinf`` once (mapping-independent) and
+        ``wdup``/``wdup+xinf`` per ``x``.
+    """
+    overrides = options_overrides or {}
+    model = graph if graph is not None else spec.build()
+    canonical = model if is_canonical(model) else preprocess(model, quantization=None).graph
+    base_arch = paper_case_study(spec.min_pes)
+    measured_min = minimum_pe_requirement(canonical, base_arch.crossbar)
+    if measured_min != spec.min_pes:
+        raise AssertionError(
+            f"{spec.name}: measured PE minimum {measured_min} differs from "
+            f"published {spec.min_pes}"
+        )
+
+    def run(arch, mapping, scheduling) -> Metrics:
+        options = ScheduleOptions(mapping=mapping, scheduling=scheduling, **overrides)
+        return evaluate(
+            compile_model(canonical, arch, options, assume_canonical=True)
+        )
+
+    baseline = run(base_arch, "none", "layer-by-layer")
+    result = SweepResult(benchmark=spec.name, min_pes=spec.min_pes, baseline=baseline)
+
+    def add(config: str, extra: int, metrics: Metrics) -> None:
+        result.points.append(
+            ConfigPoint(
+                benchmark=spec.name,
+                config=config,
+                extra_pes=extra,
+                metrics=metrics,
+                speedup=metrics.speedup_over(baseline),
+                utilization=metrics.utilization,
+            )
+        )
+
+    add("xinf", 0, run(base_arch, "none", "clsa-cim"))
+    for x in xs:
+        arch = paper_case_study(spec.min_pes + x)
+        add("wdup", x, run(arch, "wdup", "layer-by-layer"))
+        add("wdup+xinf", x, run(arch, "wdup", "clsa-cim"))
+    return result
+
+
+def sweep_all(
+    benchmarks: Sequence[BenchmarkSpec],
+    xs: Sequence[int] = PAPER_XS,
+    options_overrides: Optional[dict] = None,
+) -> list[SweepResult]:
+    """Sweep several benchmarks (the Fig. 7 grid)."""
+    return [
+        benchmark_sweep(spec, xs=xs, options_overrides=options_overrides)
+        for spec in benchmarks
+    ]

@@ -1,0 +1,108 @@
+"""Table formatting: generic ASCII tables plus Tables I and II.
+
+The benchmark harness prints these tables so the output can be compared
+line by line against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..arch.pe import CrossbarSpec
+from ..frontend.partitioning import is_canonical
+from ..frontend.pipeline import preprocess
+from ..ir.graph import Graph
+from ..mapping.tiling import layer_table, minimum_pe_requirement
+from ..models.zoo import CASE_STUDY, PAPER_BENCHMARKS, BenchmarkSpec
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an ASCII table with right-padded columns."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+
+    def render(cells: Sequence[object]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines.append(render(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(render(row))
+    return "\n".join(lines)
+
+
+def _canonical(graph: Graph) -> Graph:
+    if is_canonical(graph):
+        return graph
+    return preprocess(graph, quantization=None).graph
+
+
+def table1(
+    graph: Optional[Graph] = None, crossbar: CrossbarSpec = CrossbarSpec()
+) -> str:
+    """The paper's Table I: base-layer structure of TinyYOLOv4.
+
+    Columns: layer, IFM shape (the padded tensor the conv reads), OFM
+    shape, #PE at the given crossbar size, and ``t_init`` cycles.
+    """
+    if graph is None:
+        graph = CASE_STUDY.build()
+    canonical = _canonical(graph)
+    rows = []
+    for row in layer_table(canonical, crossbar):
+        rows.append(
+            (
+                row["layer"],
+                str(tuple(row["ifm"])),
+                str(tuple(row["ofm"])),
+                row["num_pes"],
+                row["cycles"],
+            )
+        )
+    header = ["Layer", "IFM (HWC)", "OFM (HWC)",
+              f"#PE {crossbar.rows}x{crossbar.cols}", "Cycles t_init"]
+    total = minimum_pe_requirement(canonical, crossbar)
+    return format_table(header, rows) + f"\nPE_min = {total}"
+
+
+def table2(
+    benchmarks: Sequence[BenchmarkSpec] = PAPER_BENCHMARKS,
+    crossbar: CrossbarSpec = CrossbarSpec(),
+) -> str:
+    """The paper's Table II: benchmark list with measured PE minima.
+
+    Prints both the expected (published) and measured values so any
+    divergence is immediately visible.
+    """
+    rows = []
+    for spec in benchmarks:
+        canonical = _canonical(spec.build())
+        measured_layers = len(canonical.base_layers())
+        measured_pes = minimum_pe_requirement(canonical, crossbar)
+        match = "yes" if (
+            measured_layers == spec.base_layers and measured_pes == spec.min_pes
+        ) else "NO"
+        rows.append(
+            (
+                spec.name,
+                str(spec.input_shape),
+                f"{measured_layers} (paper {spec.base_layers})",
+                f"{measured_pes} (paper {spec.min_pes})",
+                match,
+            )
+        )
+    header = ["Benchmark", "Input (HWC)", "Base layers", "Min #PE", "Match"]
+    return format_table(header, rows)
+
+
+def duplication_table(duplication, origin_order: Sequence[str]) -> str:
+    """The Fig. 6(a) inset table: duplication factor per layer."""
+    rows = [
+        (layer, duplication.d[layer])
+        for layer in origin_order
+        if duplication.d.get(layer, 1) > 1
+    ]
+    return format_table(["Layer", "Duplicates d_i"], rows)

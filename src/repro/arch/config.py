@@ -1,0 +1,95 @@
+"""Top-level architecture configuration.
+
+Bundles the crossbar, tile, NoC and DRAM specs into one object that the
+mapping and scheduling layers consume.  Following Section V of the
+paper, only three parameters influence the headline results — the
+number of PEs, the PE dimensions, and ``t_MVM`` — and the PE count is
+the swept variable ("wdup+x" = minimum PEs plus ``x`` extra).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from .memory import DramSpec
+from .noc import MeshNoc, NocSpec
+from .pe import CrossbarSpec
+from .tile import TileSpec
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """A tiled CIM architecture instance.
+
+    Attributes
+    ----------
+    num_pes:
+        Total crossbar PEs on the chip (``F`` in Optimization
+        Problem 1). The paper varies this per benchmark as
+        ``PE_min + x``.
+    tile:
+        Per-tile spec (PEs per tile, buffers, GPEU).
+    noc:
+        NoC parameters (used only by the optional cost model).
+    dram:
+        Global DRAM spec.
+    name:
+        Label used in reports.
+    """
+
+    num_pes: int = 117
+    tile: TileSpec = field(default_factory=TileSpec)
+    noc: NocSpec = field(default_factory=NocSpec)
+    dram: DramSpec = field(default_factory=DramSpec)
+    name: str = "cim"
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError(f"num_pes must be >= 1, got {self.num_pes}")
+
+    @property
+    def crossbar(self) -> CrossbarSpec:
+        """Shortcut to the crossbar spec shared by every PE."""
+        return self.tile.crossbar
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles needed to host all PEs."""
+        return math.ceil(self.num_pes / self.tile.pes_per_tile)
+
+    @property
+    def t_mvm_ns(self) -> float:
+        """MVM latency in nanoseconds (one schedule cycle)."""
+        return self.crossbar.t_mvm_ns
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert schedule cycles (t_MVM units) to nanoseconds."""
+        return cycles * self.t_mvm_ns
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert schedule cycles to milliseconds."""
+        return self.cycles_to_ns(cycles) / 1e6
+
+    def with_extra_pes(self, extra: int) -> "ArchitectureConfig":
+        """A copy with ``extra`` additional PEs (the paper's "+x")."""
+        if extra < 0:
+            raise ValueError(f"extra must be >= 0, got {extra}")
+        return replace(self, num_pes=self.num_pes + extra, name=f"{self.name}+{extra}")
+
+    def with_num_pes(self, num_pes: int) -> "ArchitectureConfig":
+        """A copy with an absolute PE count."""
+        return replace(self, num_pes=num_pes)
+
+    def build_noc(self) -> MeshNoc:
+        """Instantiate the mesh NoC for this tile count."""
+        return MeshNoc(self.num_tiles, self.noc)
+
+    def summary(self) -> str:
+        """Human-readable one-liner."""
+        xbar = self.crossbar
+        return (
+            f"{self.name}: {self.num_pes} PEs ({xbar.rows}x{xbar.cols}, "
+            f"t_MVM={xbar.t_mvm_ns:g} ns) on {self.num_tiles} tiles "
+            f"({self.tile.pes_per_tile} PE/tile)"
+        )

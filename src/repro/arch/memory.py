@@ -1,0 +1,50 @@
+"""Global DRAM and buffer sizing model.
+
+Section II-A requires that "due to limited buffer memory, all tiles
+have fast access to a global DRAM for data exchange".  Scheduling
+itself never blocks on memory in the paper's model; this module exists
+to (a) validate that feature maps fit somewhere, and (b) let the
+optional cost model charge DRAM traffic for set forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.tensor import Shape
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Global DRAM shared by all tiles."""
+
+    capacity_bytes: int = 4 * 1024**3
+    bytes_per_element: int = 1  # quantized activations
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("DRAM capacity must be positive")
+        if self.bytes_per_element < 1:
+            raise ValueError("bytes_per_element must be positive")
+
+    def tensor_bytes(self, shape: Shape) -> int:
+        """Storage footprint of one feature map."""
+        return shape.num_elements * self.bytes_per_element
+
+    def fits(self, shapes: list[Shape]) -> bool:
+        """Whether the given feature maps fit simultaneously."""
+        return sum(self.tensor_bytes(s) for s in shapes) <= self.capacity_bytes
+
+
+def feature_map_bytes(shape: Shape, bytes_per_element: int = 1) -> int:
+    """Footprint of a feature map (helper shared with the cost model)."""
+    if bytes_per_element < 1:
+        raise ValueError("bytes_per_element must be positive")
+    return shape.num_elements * bytes_per_element
+
+
+def set_payload_bytes(rows: int, cols: int, channels: int, bytes_per_element: int = 1) -> int:
+    """Footprint of one scheduling set (a rows x cols x C hyperrectangle)."""
+    if rows < 0 or cols < 0 or channels < 0:
+        raise ValueError("set dimensions must be non-negative")
+    return rows * cols * channels * bytes_per_element

@@ -1,0 +1,104 @@
+"""Crossbar processing element (PE) model.
+
+A PE is an ``M x N`` RRAM crossbar: ``N`` rows of inputs are applied as
+voltages, ``M`` columns of programmed conductances accumulate currents,
+producing an ``M``-element MVM result per cycle.  Following the paper's
+simulation model, exactly three PE parameters matter for scheduling:
+the two crossbar dimensions and the MVM latency ``t_MVM``.
+
+The paper's case study uses a 256 x 256 crossbar with
+``t_MVM = 1400 ns`` [4], which it calls one *cycle*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrossbarSpec:
+    """Geometry and timing of one crossbar PE.
+
+    Attributes
+    ----------
+    rows:
+        Number of crossbar rows ``N`` — the input-vector length a
+        single PE can consume (kernel-matrix rows per submatrix).
+    cols:
+        Number of crossbar columns ``M`` — output channels per PE
+        (kernel-matrix columns per submatrix).
+    t_mvm_ns:
+        Latency of one matrix-vector multiplication in nanoseconds.
+        One ``t_MVM`` is the schedule's unit cycle.
+    cell_bits:
+        Programmable resolution of one RRAM cell (up to 4 bits for
+        current devices [4]); used by quantization presets.
+    cells_per_weight:
+        Bit-slicing factor: how many adjacent cells in a row store one
+        weight.  The paper's evaluation (and Tables I/II) uses 1 —
+        weights quantized to a single cell's resolution.  Values > 1
+        model higher-precision weights sliced across cells (e.g. 8-bit
+        weights on 4-bit cells need 2), shrinking the effective column
+        count of Eq. 1 accordingly.
+    """
+
+    rows: int = 256
+    cols: int = 256
+    t_mvm_ns: float = 1400.0
+    cell_bits: int = 4
+    cells_per_weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"crossbar dimensions must be positive, got {self.rows}x{self.cols}")
+        if self.t_mvm_ns <= 0:
+            raise ValueError(f"t_mvm_ns must be positive, got {self.t_mvm_ns}")
+        if not 1 <= self.cell_bits <= 16:
+            raise ValueError(f"cell_bits must be in [1, 16], got {self.cell_bits}")
+        if not 1 <= self.cells_per_weight <= self.cols:
+            raise ValueError(
+                f"cells_per_weight must be in [1, cols], got {self.cells_per_weight}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Number of weight cells in one crossbar (``rows * cols``)."""
+        return self.rows * self.cols
+
+    @property
+    def effective_cols(self) -> int:
+        """Weights storable per row after bit slicing (``M / slices``)."""
+        return self.cols // self.cells_per_weight
+
+    @property
+    def weight_bits(self) -> int:
+        """Bits available per stored weight (``cell_bits * slices``)."""
+        return self.cell_bits * self.cells_per_weight
+
+    def pes_for_kernel_matrix(self, kernel_rows: int, kernel_cols: int) -> int:
+        """PEs needed to store a ``kernel_rows x kernel_cols`` matrix.
+
+        This is Eq. (1) of the paper::
+
+            c_i = ceil(KW*KH*KI / N) * ceil(KO / M)
+
+        where the kernel matrix is subdivided into ``N``-row,
+        ``M``-column submatrices statically mapped onto PEs (Fig. 3).
+        With bit slicing, ``M`` is the effective column count.
+        """
+        if kernel_rows < 1 or kernel_cols < 1:
+            raise ValueError(
+                f"kernel matrix dimensions must be positive, got "
+                f"{kernel_rows}x{kernel_cols}"
+            )
+        vertical = math.ceil(kernel_rows / self.rows)
+        horizontal = math.ceil(kernel_cols / self.effective_cols)
+        return vertical * horizontal
+
+    def grid_for_kernel_matrix(self, kernel_rows: int, kernel_cols: int) -> tuple[int, int]:
+        """The ``(P_V, P_H)`` submatrix grid of Eq. (1)."""
+        return (
+            math.ceil(kernel_rows / self.rows),
+            math.ceil(kernel_cols / self.effective_cols),
+        )

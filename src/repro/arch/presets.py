@@ -1,0 +1,70 @@
+"""Ready-made architecture configurations.
+
+``paper_case_study`` reproduces the simulation setup of Section V:
+256 x 256 crossbars with ``t_MVM = 1400 ns`` [4]; the PE count is the
+experiment's variable.  The other presets exercise the "arbitrary
+crossbar size" retargetability the paper claims in Section V-C.
+"""
+
+from __future__ import annotations
+
+from .config import ArchitectureConfig
+from .memory import DramSpec
+from .noc import NocSpec
+from .pe import CrossbarSpec
+from .tile import TileSpec
+
+
+def paper_case_study(num_pes: int, pes_per_tile: int = 1) -> ArchitectureConfig:
+    """The DATE 2024 evaluation architecture (Sec. V).
+
+    256 x 256 crossbars, ``t_MVM = 1400 ns`` = one cycle, 4-bit cells.
+    ``num_pes`` is typically ``PE_min + x`` for the model under test.
+    """
+    return ArchitectureConfig(
+        num_pes=num_pes,
+        tile=TileSpec(
+            pes_per_tile=pes_per_tile,
+            crossbar=CrossbarSpec(rows=256, cols=256, t_mvm_ns=1400.0, cell_bits=4),
+        ),
+        name="date24-case-study",
+    )
+
+
+def small_crossbar(num_pes: int, dim: int = 128) -> ArchitectureConfig:
+    """An architecture with smaller ``dim x dim`` crossbars.
+
+    Smaller PEs raise per-layer PE counts (Eq. 1) — used by the
+    retargetability ablation.
+    """
+    return ArchitectureConfig(
+        num_pes=num_pes,
+        tile=TileSpec(
+            pes_per_tile=1,
+            crossbar=CrossbarSpec(rows=dim, cols=dim, t_mvm_ns=1400.0, cell_bits=4),
+        ),
+        name=f"xbar-{dim}",
+    )
+
+
+def isaac_like(num_pes: int) -> ArchitectureConfig:
+    """An ISAAC-flavoured setup [6]: many small PEs per tile, fast MVM."""
+    return ArchitectureConfig(
+        num_pes=num_pes,
+        tile=TileSpec(
+            pes_per_tile=8,
+            crossbar=CrossbarSpec(rows=128, cols=128, t_mvm_ns=100.0, cell_bits=2),
+        ),
+        noc=NocSpec(hop_latency_ns=1.0, link_bandwidth_bytes_per_ns=64.0),
+        dram=DramSpec(),
+        name="isaac-like",
+    )
+
+
+#: Registry used by CLI-style sweep helpers.
+PRESETS = {
+    "date24-case-study": paper_case_study,
+    "xbar-128": lambda num_pes: small_crossbar(num_pes, 128),
+    "xbar-64": lambda num_pes: small_crossbar(num_pes, 64),
+    "isaac-like": isaac_like,
+}

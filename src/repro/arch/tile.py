@@ -1,0 +1,83 @@
+"""Tile model: PEs + buffers + general-purpose execution unit (GPEU).
+
+Section II-A of the paper lists the tile-level requirements for
+cross-layer scheduling: tiles operate independently and in parallel,
+contain one or more crossbar PEs, hold input/output buffers, and carry
+a GPEU to execute non-base layers (pooling, activation, bias...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pe import CrossbarSpec
+
+
+@dataclass(frozen=True)
+class GpeuSpec:
+    """General-purpose execution unit of a tile.
+
+    The paper's latency model charges non-base layers no crossbar time
+    (they overlap with MVMs), but the GPEU spec records which operation
+    classes the tile can execute so architecture validation can reject
+    models using unsupported non-base ops, and the optional cost model
+    of :mod:`repro.sim.noc_cost` can charge per-element time.
+    """
+
+    supported_ops: tuple[str, ...] = (
+        "BiasAdd",
+        "Activation",
+        "MaxPool",
+        "AvgPool",
+        "GlobalAvgPool",
+        "Pad",
+        "Add",
+        "Concat",
+        "ConcatSpatial",
+        "Slice",
+        "Upsample",
+        "Flatten",
+        "Identity",
+        "BatchNorm",
+    )
+    #: Elements processed per cycle by the optional cost model.
+    throughput_per_cycle: int = 256
+
+    def supports(self, op_type: str) -> bool:
+        """Whether the GPEU can execute the given non-base op type."""
+        return op_type in self.supported_ops
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One tile of the tiled CIM architecture.
+
+    Attributes
+    ----------
+    pes_per_tile:
+        Number of crossbar PEs inside the tile.
+    crossbar:
+        Shared spec of every PE in the tile.
+    input_buffer_bytes / output_buffer_bytes:
+        Local buffer capacities for partial IFM/OFM data. Tiles spill
+        to global DRAM when a transfer exceeds the buffers (Sec. II-A).
+    gpeu:
+        The tile's general-purpose execution unit.
+    """
+
+    pes_per_tile: int = 1
+    crossbar: CrossbarSpec = field(default_factory=CrossbarSpec)
+    input_buffer_bytes: int = 64 * 1024
+    output_buffer_bytes: int = 64 * 1024
+    gpeu: GpeuSpec = field(default_factory=GpeuSpec)
+
+    def __post_init__(self) -> None:
+        if self.pes_per_tile < 1:
+            raise ValueError(f"pes_per_tile must be >= 1, got {self.pes_per_tile}")
+        if self.input_buffer_bytes < 0 or self.output_buffer_bytes < 0:
+            raise ValueError("buffer sizes must be non-negative")
+
+    @property
+    def weight_capacity(self) -> int:
+        """Total weight cells storable in the tile."""
+        return self.pes_per_tile * self.crossbar.capacity

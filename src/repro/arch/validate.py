@@ -1,0 +1,89 @@
+"""Architecture requirement checks (Section II-A of the paper).
+
+The paper defines hardware prerequisites for cross-layer scheduling:
+tiles on a NoC, independent parallel tiles, per-tile buffers, global
+DRAM, crossbar PEs, *enough PEs to store all weights at least once*,
+and a GPEU for non-base operations.  :func:`check_requirements` verifies
+a model/architecture pair against this list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph
+from ..ir.ops import Input
+from .config import ArchitectureConfig
+
+
+@dataclass
+class RequirementReport:
+    """Outcome of the Section II-A requirement check."""
+
+    satisfied: bool = True
+    issues: list[str] = field(default_factory=list)
+    pe_demand: int = 0
+    pe_available: int = 0
+
+    def add_issue(self, message: str) -> None:
+        self.issues.append(message)
+        self.satisfied = False
+
+
+def check_requirements(
+    graph: Graph, arch: ArchitectureConfig, pe_demand: int
+) -> RequirementReport:
+    """Validate that ``arch`` can run ``graph`` with cross-layer scheduling.
+
+    Parameters
+    ----------
+    graph:
+        Canonical (preprocessed) model.
+    arch:
+        Candidate architecture.
+    pe_demand:
+        Minimum PEs the model needs (``C_num`` from Eq. 1; computed by
+        :func:`repro.mapping.tiling.minimum_pe_requirement`, passed in
+        to keep this package free of mapping dependencies).
+
+    Returns
+    -------
+    RequirementReport
+        ``satisfied`` plus a list of human-readable violations.
+    """
+    report = RequirementReport(pe_demand=pe_demand, pe_available=arch.num_pes)
+
+    # Requirement: enough PEs to store all weights at least once.
+    if pe_demand > arch.num_pes:
+        report.add_issue(
+            f"model needs {pe_demand} PEs but architecture has only "
+            f"{arch.num_pes} (weights must be storable at least once)"
+        )
+
+    # Requirement: tiles exchange data via a NoC (mesh must be connected).
+    noc = arch.build_noc()
+    if not noc.is_connected():  # pragma: no cover - meshes are connected
+        report.add_issue("NoC mesh is not connected")
+
+    # Requirement: buffers inside the tiles.
+    if arch.tile.input_buffer_bytes == 0 and arch.tile.output_buffer_bytes == 0:
+        report.add_issue("tiles have no buffers for partial IFM/OFM data")
+
+    # Requirement: GPEU supports every non-base op the model uses.
+    unsupported = sorted(
+        {
+            graph[name].op_type
+            for name in graph.non_base_layers()
+            if not isinstance(graph[name], Input)
+            and not arch.tile.gpeu.supports(graph[name].op_type)
+        }
+    )
+    for op_type in unsupported:
+        report.add_issue(f"GPEU does not support non-base op type '{op_type}'")
+
+    # Requirement: DRAM can hold all feature maps (coarse upper bound).
+    shapes = list(graph.infer_shapes().values())
+    if not arch.dram.fits(shapes):
+        report.add_issue("feature maps exceed global DRAM capacity")
+
+    return report

@@ -1,0 +1,212 @@
+"""Command-line interface: ``clsa-cim``.
+
+Subcommands
+-----------
+``table1``
+    Print the paper's Table I (TinyYOLOv4 base-layer structure).
+``table2``
+    Print the paper's Table II (benchmark list with PE minima).
+``schedule``
+    Compile one model/configuration and print metrics (and optionally
+    the ASCII Gantt chart).
+``sweep``
+    Run the paper's configuration grid for one or more models and print
+    the Fig. 7 panels (or export CSV/JSON).
+
+Examples
+--------
+::
+
+    clsa-cim table2
+    clsa-cim schedule --model tinyyolov4 --extra-pes 32
+    clsa-cim schedule --model tinyyolov4 --mapping none --gantt
+    clsa-cim sweep --models tinyyolov3 vgg16 --xs 4 16 --format csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    fig7a_report,
+    fig7b_report,
+    format_table,
+    headline_summary,
+    table1,
+    table2,
+)
+from .analysis.export import sweep_to_csv, sweep_to_json
+from .analysis.sweep import benchmark_sweep
+from .arch import paper_case_study
+from .core import ScheduleOptions, SetGranularity, compile_model
+from .frontend import preprocess
+from .mapping import minimum_pe_requirement
+from .models import MODELS, PAPER_BENCHMARKS, benchmark_by_name, build
+from .sim import ascii_gantt, evaluate
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clsa-cim",
+        description="CLSA-CIM cross-layer scheduling for tiled CIM architectures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the paper's Table I")
+    sub.add_parser("table2", help="print the paper's Table II")
+
+    schedule = sub.add_parser("schedule", help="compile one configuration")
+    schedule.add_argument("--model", required=True, choices=sorted(MODELS))
+    schedule.add_argument("--mapping", default="wdup", choices=("none", "wdup"))
+    schedule.add_argument(
+        "--scheduling", default="clsa-cim", choices=("layer-by-layer", "clsa-cim")
+    )
+    schedule.add_argument(
+        "--extra-pes", type=int, default=16,
+        help="PEs beyond the model's minimum (default 16)",
+    )
+    schedule.add_argument(
+        "--rows-per-set", type=int, default=1,
+        help="Stage I granularity (default 1 = finest)",
+    )
+    schedule.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    schedule.add_argument(
+        "--critical-path", action="store_true",
+        help="print the schedule's critical-path breakdown",
+    )
+    schedule.add_argument(
+        "--buffers", action="store_true",
+        help="print tile buffer occupancy analysis",
+    )
+    schedule.add_argument(
+        "--energy", action="store_true", help="print the energy estimate"
+    )
+    schedule.add_argument(
+        "--batch", type=int, default=1,
+        help="pipeline this many inferences (default 1)",
+    )
+
+    sweep = sub.add_parser("sweep", help="run the paper's configuration grid")
+    sweep.add_argument(
+        "--models", nargs="+", default=[spec.name for spec in PAPER_BENCHMARKS],
+        choices=[spec.name for spec in PAPER_BENCHMARKS] + ["tinyyolov4"],
+    )
+    sweep.add_argument("--xs", nargs="+", type=int, default=[4, 8, 16, 32])
+    sweep.add_argument(
+        "--format", default="text", choices=("text", "csv", "json"),
+        help="output format (default text)",
+    )
+    return parser
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    canonical = preprocess(build(args.model), quantization=None).graph
+    min_pes = minimum_pe_requirement(canonical, paper_case_study(1).crossbar)
+    arch = paper_case_study(min_pes + args.extra_pes)
+    options = ScheduleOptions(
+        mapping=args.mapping,
+        scheduling=args.scheduling,
+        granularity=SetGranularity(rows_per_set=args.rows_per_set),
+    )
+    compiled = compile_model(canonical, arch, options, assume_canonical=True)
+    metrics = evaluate(compiled)
+
+    baseline = compile_model(
+        canonical,
+        paper_case_study(min_pes),
+        ScheduleOptions(mapping="none", scheduling="layer-by-layer"),
+        assume_canonical=True,
+    )
+    baseline_metrics = evaluate(baseline)
+
+    rows = [
+        ("model", args.model),
+        ("configuration", options.paper_name),
+        ("architecture", arch.summary()),
+        ("latency", f"{metrics.latency_cycles} cycles "
+                    f"({metrics.latency_ns / 1e6:.3f} ms)"),
+        ("speedup vs layer-by-layer", f"{metrics.speedup_over(baseline_metrics):.2f}x"),
+        ("utilization (Eq. 2)", f"{100 * metrics.utilization:.2f}%"),
+    ]
+    if compiled.duplication is not None:
+        duplicated = {
+            layer: factor
+            for layer, factor in compiled.duplication.d.items()
+            if factor > 1
+        }
+        rows.append(("duplicated layers", str(duplicated) if duplicated else "none"))
+    print(format_table(["Field", "Value"], rows))
+    if args.gantt:
+        print()
+        print(ascii_gantt(compiled))
+    if args.critical_path:
+        from .analysis import format_critical_path
+
+        print()
+        print(format_critical_path(compiled))
+    if args.buffers:
+        from .sim import analyze_buffers
+
+        print()
+        print(analyze_buffers(compiled).summary())
+    if args.energy:
+        from .sim import estimate_energy
+
+        print()
+        print(estimate_energy(compiled).summary())
+    if args.batch > 1:
+        from .core import cross_layer_schedule_batch
+
+        if compiled.dependencies is None:
+            print("\nbatch pipelining requires --scheduling clsa-cim")
+            return 2
+        result = cross_layer_schedule_batch(
+            compiled.mapped, compiled.dependencies, args.batch
+        )
+        print(
+            f"\nbatch {args.batch}: makespan {result.makespan} cycles, "
+            f"{result.steady_state_interval:.0f} cycles/image steady-state, "
+            f"{result.throughput_images_per_ms(arch.t_mvm_ns):.2f} images/ms"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    results = []
+    for name in args.models:
+        spec = benchmark_by_name(name)
+        canonical = preprocess(spec.build(), quantization=None).graph
+        results.append(benchmark_sweep(spec, xs=tuple(args.xs), graph=canonical))
+    if args.format == "csv":
+        print(sweep_to_csv(results))
+    elif args.format == "json":
+        print(sweep_to_json(results))
+    else:
+        print(fig7a_report(results))
+        print()
+        print(fig7b_report(results))
+        print()
+        print(headline_summary(results))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(table1())
+        return 0
+    if args.command == "table2":
+        print(table2())
+        return 0
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

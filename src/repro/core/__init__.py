@@ -1,0 +1,67 @@
+"""CLSA-CIM core: the four-stage cross-layer scheduler and baselines."""
+
+from .batch import (
+    BatchScheduleResult,
+    cross_layer_schedule_batch,
+    validate_batch_schedule,
+)
+from .cross_layer import (
+    cross_layer_schedule,
+    cross_layer_schedule_dynamic,
+    validate_schedule,
+)
+from .dependencies import (
+    DependencyGraph,
+    SetRef,
+    determine_dependencies,
+    layer_level_dependencies,
+    set_dependencies,
+    trace_to_base,
+)
+from .intra_layer import ORDER_POLICIES, intra_layer_order
+from .layer_by_layer import layer_by_layer_schedule
+from .pipeline import (
+    MAPPINGS,
+    SCHEDULERS,
+    CompiledModel,
+    ScheduleOptions,
+    compile_model,
+)
+from .schedule import Schedule, SetTask
+from .sets import (
+    FINEST,
+    SetGranularity,
+    determine_sets,
+    partition_ofm,
+    validate_partition,
+)
+
+__all__ = [
+    "BatchScheduleResult",
+    "CompiledModel",
+    "DependencyGraph",
+    "FINEST",
+    "MAPPINGS",
+    "ORDER_POLICIES",
+    "SCHEDULERS",
+    "Schedule",
+    "ScheduleOptions",
+    "SetGranularity",
+    "SetRef",
+    "SetTask",
+    "compile_model",
+    "cross_layer_schedule",
+    "cross_layer_schedule_batch",
+    "cross_layer_schedule_dynamic",
+    "determine_dependencies",
+    "determine_sets",
+    "intra_layer_order",
+    "layer_by_layer_schedule",
+    "layer_level_dependencies",
+    "partition_ofm",
+    "set_dependencies",
+    "trace_to_base",
+    "validate_batch_schedule",
+    "validate_partition",
+    "validate_schedule",
+]

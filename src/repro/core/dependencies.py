@@ -1,0 +1,160 @@
+"""Stage II of CLSA-CIM: determine dependencies (Sec. IV-2).
+
+For every OFM set of every base layer, compute which OFM sets of
+predecessor base layers must be finished before the set can start.
+The set's required IFM region is obtained from the layer's backward
+region rule, then propagated further backwards along the non-base
+layer path (pooling, padding, activation, concat, ...) until base
+layers (or graph inputs) are reached; any predecessor set intersecting
+the propagated region becomes a data dependency.
+
+This realizes the paper's P/Q relations (each OFM set can influence
+multiple IFM sets and vice versa) without a separate forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph
+from ..ir.ops import Input
+from ..ir.tensor import Rect
+
+#: A (layer name, set index) pair identifying one scheduling set.
+SetRef = tuple[str, int]
+
+
+@dataclass
+class DependencyGraph:
+    """Set-level data dependencies of a model.
+
+    Attributes
+    ----------
+    sets:
+        Stage I output: per-layer OFM set rectangles.
+    deps:
+        Per (layer, set index), the list of predecessor sets that must
+        complete first.  Sets reading only the graph input have an
+        empty list.
+    """
+
+    sets: dict[str, list[Rect]]
+    deps: dict[SetRef, list[SetRef]] = field(default_factory=dict)
+
+    def predecessors(self, layer: str, set_index: int) -> list[SetRef]:
+        """Data dependencies of one set."""
+        return self.deps[(layer, set_index)]
+
+    def num_sets(self) -> int:
+        """Total scheduling sets across all layers."""
+        return sum(len(rects) for rects in self.sets.values())
+
+    def edge_count(self) -> int:
+        """Total dependency edges."""
+        return sum(len(edges) for edges in self.deps.values())
+
+    def fan_in_stats(self) -> tuple[float, int]:
+        """(mean, max) dependencies per set — the paper's P relation."""
+        counts = [len(edges) for edges in self.deps.values()]
+        if not counts:
+            return (0.0, 0)
+        return (sum(counts) / len(counts), max(counts))
+
+
+def trace_to_base(
+    graph: Graph,
+    tensor_name: str,
+    rect: Rect,
+    shapes: dict | None = None,
+) -> list[tuple[str, Rect]]:
+    """Propagate a required region backwards to base-layer producers.
+
+    Starting from ``rect`` of the tensor produced by ``tensor_name``,
+    walk producer-wards through non-base operators, transforming the
+    region with each op's backward rule.  Recursion stops at base
+    layers and graph inputs.  Returns ``(base layer name, region)``
+    pairs; regions clipped to empty are dropped (e.g. a region that
+    falls entirely into explicit padding).
+
+    ``shapes`` may be supplied to avoid repeated shape-table lookups in
+    hot loops; it must be ``graph.infer_shapes()`` of the same graph.
+    """
+    if rect.is_empty():
+        return []
+    op = graph[tensor_name]
+    if op.is_base or isinstance(op, Input):
+        return [(tensor_name, rect)] if op.is_base else []
+    if shapes is None:
+        shapes = graph.infer_shapes()
+    input_shapes = [shapes[p] for p in op.inputs]
+    regions = op.input_regions(rect, input_shapes, shapes[tensor_name])
+    results: list[tuple[str, Rect]] = []
+    for producer, region in zip(op.inputs, regions):
+        results.extend(trace_to_base(graph, producer, region, shapes))
+    return results
+
+
+def set_dependencies(
+    graph: Graph,
+    sets: dict[str, list[Rect]],
+    layer: str,
+    set_index: int,
+    shapes: dict | None = None,
+) -> list[SetRef]:
+    """Stage II for a single set: its predecessor set references."""
+    op = graph[layer]
+    if shapes is None:
+        shapes = graph.infer_shapes()
+    out_shape = shapes[layer]
+    input_shapes = [shapes[p] for p in op.inputs]
+    rect = sets[layer][set_index]
+    needed = op.input_regions(rect, input_shapes, out_shape)
+    refs: list[SetRef] = []
+    seen: set[SetRef] = set()
+    for producer, region in zip(op.inputs, needed):
+        for base_layer, base_rect in trace_to_base(graph, producer, region, shapes):
+            for pred_index, pred_rect in enumerate(sets[base_layer]):
+                if pred_rect.intersects(base_rect):
+                    ref = (base_layer, pred_index)
+                    if ref not in seen:
+                        seen.add(ref)
+                        refs.append(ref)
+    return refs
+
+
+def determine_dependencies(
+    graph: Graph, sets: dict[str, list[Rect]]
+) -> DependencyGraph:
+    """Stage II: the full set-level dependency graph."""
+    dependency_graph = DependencyGraph(sets=sets)
+    shapes = graph.infer_shapes()
+    for layer in graph.base_layers():
+        for set_index in range(len(sets[layer])):
+            dependency_graph.deps[(layer, set_index)] = set_dependencies(
+                graph, sets, layer, set_index, shapes
+            )
+    return dependency_graph
+
+
+def layer_level_dependencies(graph: Graph) -> dict[str, list[str]]:
+    """Base-layer-level predecessors (whole-OFM granularity).
+
+    This is the dependency view of layer-by-layer inference: a layer
+    may start only after every base layer feeding it (through any
+    non-base path) has completed its entire OFM.
+    """
+    shapes = graph.infer_shapes()
+    result: dict[str, list[str]] = {}
+    for layer in graph.base_layers():
+        op = graph[layer]
+        input_shapes = [shapes[p] for p in op.inputs]
+        needed = op.input_regions(shapes[layer].full_rect(), input_shapes, shapes[layer])
+        preds: list[str] = []
+        seen: set[str] = set()
+        for producer, region in zip(op.inputs, needed):
+            for base_layer, _ in trace_to_base(graph, producer, region, shapes):
+                if base_layer not in seen:
+                    seen.add(base_layer)
+                    preds.append(base_layer)
+        result[layer] = preds
+    return result

@@ -1,0 +1,67 @@
+"""Stage III of CLSA-CIM: intra-layer scheduling (Sec. IV-3).
+
+Sets of one layer share the layer's PEs, so they execute sequentially —
+the orange *resource dependencies* of Fig. 5(b).  Stage III fixes that
+total order per layer.  Row-major order (the order Stage I generates,
+matching the OFM streaming order of im2col) is the paper's default; a
+few alternative orders are provided for ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.tensor import Rect
+
+#: An ordering policy maps a layer's set rectangles to a permutation of
+#: their indices (execution order).
+OrderPolicy = Callable[[list[Rect]], list[int]]
+
+
+def row_major(rects: list[Rect]) -> list[int]:
+    """Top-to-bottom, left-to-right — the paper's default order."""
+    return sorted(range(len(rects)), key=lambda i: (rects[i].r0, rects[i].c0))
+
+
+def column_major(rects: list[Rect]) -> list[int]:
+    """Left-to-right, top-to-bottom (ablation)."""
+    return sorted(range(len(rects)), key=lambda i: (rects[i].c0, rects[i].r0))
+
+
+def reverse_row_major(rects: list[Rect]) -> list[int]:
+    """Bottom-to-top (ablation; pessimises forwarding to row-major consumers)."""
+    return sorted(range(len(rects)), key=lambda i: (-rects[i].r0, rects[i].c0))
+
+
+def even_odd(rects: list[Rect]) -> list[int]:
+    """All even-positioned rows first, then the odd ones (ablation).
+
+    Genuinely adversarial for row-streaming consumers: a consumer row
+    needs adjacent producer rows, and interleaving defers every other
+    row to the second half of the layer's execution.  (Note that
+    :func:`reverse_row_major` is *not* adversarial — reversing every
+    layer is a global mirror symmetry with near-identical makespan.)
+    """
+    ordered = row_major(rects)
+    return ordered[0::2] + ordered[1::2]
+
+
+#: Named intra-layer ordering policies.
+ORDER_POLICIES: dict[str, OrderPolicy] = {
+    "row_major": row_major,
+    "column_major": column_major,
+    "reverse_row_major": reverse_row_major,
+    "even_odd": even_odd,
+}
+
+
+def intra_layer_order(
+    sets: dict[str, list[Rect]], policy: str = "row_major"
+) -> dict[str, list[int]]:
+    """Stage III: per-layer execution order of set indices."""
+    if policy not in ORDER_POLICIES:
+        raise ValueError(
+            f"unknown intra-layer policy {policy!r}; available: {sorted(ORDER_POLICIES)}"
+        )
+    order_fn = ORDER_POLICIES[policy]
+    return {layer: order_fn(rects) for layer, rects in sets.items()}

@@ -1,0 +1,65 @@
+"""Layer-by-layer inference baseline (Sec. II-B of the paper).
+
+The SOTA baseline against which CLSA-CIM is measured: a base layer may
+start only after every base layer feeding it (through any non-base
+path) has computed its *entire* OFM.  Intra-layer scheduling still
+applies inside each layer (all the layer's PEs work in parallel, one
+OFM vector per cycle), and weight-duplicated siblings execute
+concurrently because they are independent base nodes — exactly the
+``wdup`` configuration of Fig. 6(a).
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.tensor import Rect
+from .dependencies import layer_level_dependencies
+from .schedule import Schedule, SetTask
+
+
+def layer_by_layer_schedule(
+    graph: Graph, sets: dict[str, list[Rect]] | None = None
+) -> Schedule:
+    """Whole-layer-granularity schedule of a canonical graph.
+
+    Parameters
+    ----------
+    graph:
+        Canonical, possibly duplication-rewritten model.
+    sets:
+        Optional Stage I partition; when given, each layer's block of
+        time is subdivided into per-set tasks (back to back, row-major)
+        so traces are comparable with CLSA-CIM schedules.  When
+        omitted, each layer is one task covering its whole OFM.
+
+    Returns
+    -------
+    Schedule
+        Makespan equals the sum over the critical path of whole-layer
+        latencies ``t_OFM = OH * OW`` (cycles).
+    """
+    shapes = graph.infer_shapes()
+    preds = layer_level_dependencies(graph)
+    layer_end: dict[str, int] = {}
+    schedule = Schedule(policy="layer-by-layer")
+    for layer in graph.base_layers():
+        start = max((layer_end[p] for p in preds[layer]), default=0)
+        out_shape = shapes[layer]
+        if sets is None:
+            rects = [out_shape.full_rect()]
+        else:
+            rects = sets[layer]
+        cursor = start
+        for set_index, rect in enumerate(rects):
+            schedule.tasks.append(
+                SetTask(
+                    layer=layer,
+                    set_index=set_index,
+                    rect=rect,
+                    start=cursor,
+                    end=cursor + rect.area,
+                )
+            )
+            cursor += rect.area
+        layer_end[layer] = cursor
+    return schedule

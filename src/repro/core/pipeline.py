@@ -1,0 +1,215 @@
+"""End-to-end CLSA-CIM compilation pipeline.
+
+``compile_model`` chains every stage of the paper:
+
+1. preprocessing into the canonical form (Sec. III-A),
+2. optional weight duplication — Optimization Problem 1 + the Fig. 4
+   rewrite (Sec. III-C),
+3. PE placement (weight-stationary mapping),
+4. Stage I–IV of CLSA-CIM, or the layer-by-layer baseline (Sec. IV).
+
+The four evaluation configurations of Sec. V map onto options as:
+
+=============== =========== ===================
+paper name      mapping     scheduling
+=============== =========== ===================
+layer-by-layer  ``none``    ``layer-by-layer``
+wdup            ``wdup``    ``layer-by-layer``
+xinf            ``none``    ``clsa-cim``
+wdup+xinf       ``wdup``    ``clsa-cim``
+=============== =========== ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.config import ArchitectureConfig
+from ..frontend.partitioning import is_canonical
+from ..frontend.pipeline import preprocess
+from ..ir.graph import Graph
+from ..ir.tensor import Rect
+from ..mapping.duplication import DuplicationSolution, problem_from_tilings, solve
+from ..mapping.placement import Placement, place_graph
+from ..mapping.rewrite import RewriteReport, apply_duplication
+from ..mapping.tiling import tile_graph
+from .cross_layer import (
+    cross_layer_schedule,
+    cross_layer_schedule_dynamic,
+    validate_schedule,
+)
+from .dependencies import DependencyGraph, determine_dependencies
+from .intra_layer import intra_layer_order
+from .layer_by_layer import layer_by_layer_schedule
+from .schedule import Schedule
+from .sets import FINEST, SetGranularity, determine_sets
+
+#: Mapping option names.
+MAPPINGS = ("none", "wdup")
+#: Scheduling option names.
+SCHEDULERS = ("layer-by-layer", "clsa-cim")
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Configuration of one compilation run.
+
+    Attributes
+    ----------
+    mapping:
+        ``'none'`` (store weights once) or ``'wdup'`` (weight
+        duplication filling the PE budget).
+    scheduling:
+        ``'layer-by-layer'`` baseline or ``'clsa-cim'`` cross-layer.
+    granularity:
+        Stage I set granularity (default: one OFM row per set — the
+        paper's maximum-achievable setting).
+    order_mode:
+        ``'dynamic'`` (ready-order list scheduling, the paper's
+        maximum-achievable setting) or ``'static'`` (fixed Stage III
+        order; ablation).
+    intra_layer_policy:
+        Stage III ordering policy name (used by ``'static'`` mode).
+    duplication_solver:
+        ``'dp'`` (exact) or ``'greedy'`` for Optimization Problem 1.
+    duplication_axis:
+        Cut direction of the Fig. 4 rewrite: ``'width'`` (default,
+        pipelining-friendly) or ``'height'`` (ablation).
+    d_max_cap:
+        Optional cap on per-layer duplication factors.
+    """
+
+    mapping: str = "wdup"
+    scheduling: str = "clsa-cim"
+    granularity: SetGranularity = FINEST
+    order_mode: str = "dynamic"
+    intra_layer_policy: str = "row_major"
+    duplication_solver: str = "dp"
+    duplication_axis: str = "width"
+    d_max_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mapping not in MAPPINGS:
+            raise ValueError(f"mapping must be one of {MAPPINGS}, got {self.mapping!r}")
+        if self.scheduling not in SCHEDULERS:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULERS}, got {self.scheduling!r}"
+            )
+        if self.order_mode not in ("dynamic", "static"):
+            raise ValueError(
+                f"order_mode must be 'dynamic' or 'static', got {self.order_mode!r}"
+            )
+
+    @property
+    def paper_name(self) -> str:
+        """The paper's name for this configuration (Sec. V)."""
+        if self.mapping == "none":
+            return "layer-by-layer" if self.scheduling == "layer-by-layer" else "xinf"
+        return "wdup" if self.scheduling == "layer-by-layer" else "wdup+xinf"
+
+
+@dataclass
+class CompiledModel:
+    """Everything produced by one compilation run."""
+
+    arch: ArchitectureConfig
+    options: ScheduleOptions
+    canonical: Graph
+    mapped: Graph
+    placement: Placement
+    schedule: Schedule
+    duplication: Optional[DuplicationSolution] = None
+    rewrite: Optional[RewriteReport] = None
+    sets: dict[str, list[Rect]] = field(default_factory=dict)
+    dependencies: Optional[DependencyGraph] = None
+
+    @property
+    def latency_cycles(self) -> int:
+        """Inference latency in cycles (schedule makespan)."""
+        return self.schedule.makespan
+
+    @property
+    def latency_ns(self) -> float:
+        """Inference latency in nanoseconds."""
+        return self.arch.cycles_to_ns(self.latency_cycles)
+
+    def origin_of_layer(self, layer: str) -> str:
+        """Original layer name of a (possibly duplicated) base node."""
+        if self.rewrite is not None and layer in self.rewrite.origin_of:
+            return self.rewrite.origin_of[layer]
+        return layer
+
+
+def compile_model(
+    graph: Graph,
+    arch: ArchitectureConfig,
+    options: ScheduleOptions = ScheduleOptions(),
+    assume_canonical: bool = False,
+) -> CompiledModel:
+    """Compile and schedule a model for a tiled CIM architecture.
+
+    Parameters
+    ----------
+    graph:
+        The model; preprocessed automatically unless it is already
+        canonical (or ``assume_canonical`` is set).
+    arch:
+        Target architecture; must provide at least the model's minimum
+        PE requirement.
+    options:
+        Mapping/scheduling configuration.
+
+    Returns
+    -------
+    CompiledModel
+        The compiled artifacts; ``schedule.makespan`` is the inference
+        latency in cycles.
+    """
+    if assume_canonical or is_canonical(graph):
+        canonical = graph
+    else:
+        canonical = preprocess(graph, quantization=None).graph
+
+    duplication = None
+    rewrite = None
+    mapped = canonical
+    if options.mapping == "wdup":
+        tilings = tile_graph(canonical, arch.crossbar)
+        problem = problem_from_tilings(
+            tilings,
+            budget=arch.num_pes,
+            d_max_cap=options.d_max_cap,
+            axis=options.duplication_axis,
+        )
+        duplication = solve(problem, options.duplication_solver)
+        rewrite = apply_duplication(canonical, duplication, axis=options.duplication_axis)
+        mapped = rewrite.graph
+
+    placement = place_graph(mapped, arch)
+    sets = determine_sets(mapped, options.granularity)
+
+    if options.scheduling == "layer-by-layer":
+        schedule = layer_by_layer_schedule(mapped, sets)
+        dependencies = None
+    else:
+        dependencies = determine_dependencies(mapped, sets)
+        if options.order_mode == "dynamic":
+            schedule = cross_layer_schedule_dynamic(mapped, dependencies)
+        else:
+            order = intra_layer_order(sets, options.intra_layer_policy)
+            schedule = cross_layer_schedule(mapped, dependencies, order)
+        validate_schedule(schedule, dependencies)
+
+    return CompiledModel(
+        arch=arch,
+        options=options,
+        canonical=canonical,
+        mapped=mapped,
+        placement=placement,
+        schedule=schedule,
+        duplication=duplication,
+        rewrite=rewrite,
+        sets=sets,
+        dependencies=dependencies,
+    )

@@ -1,0 +1,123 @@
+"""Schedule data structures shared by all scheduling policies.
+
+A schedule assigns every *(base layer, OFM set)* pair a start and end
+time in cycles (one cycle = one ``t_MVM``, Sec. III-B).  Each base
+layer owns its PEs exclusively (weight-stationary mapping), so the
+per-layer timeline doubles as the per-PE timeline of that layer's PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.tensor import Rect
+
+
+@dataclass(frozen=True)
+class SetTask:
+    """One scheduled OFM set.
+
+    Attributes
+    ----------
+    layer:
+        Base layer node name (post-duplication graph).
+    set_index:
+        Index of the set within the layer's intra-layer order.
+    rect:
+        OFM region the set covers (full channel depth).
+    start / end:
+        Cycle interval ``[start, end)``; ``end - start`` equals the
+        set's pixel count (one MVM per OFM pixel, Sec. III-B).
+    """
+
+    layer: str
+    set_index: int
+    rect: Rect
+    start: int
+    end: int
+    #: Inference index for batch schedules (0 for single-image runs).
+    image: int = 0
+
+    @property
+    def duration(self) -> int:
+        """Busy cycles of the set."""
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"invalid interval [{self.start}, {self.end}) for "
+                f"{self.layer} set {self.set_index}"
+            )
+        if self.duration != self.rect.area:
+            raise ValueError(
+                f"{self.layer} set {self.set_index}: duration {self.duration} "
+                f"does not match set area {self.rect.area}"
+            )
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of one model on one architecture.
+
+    Attributes
+    ----------
+    policy:
+        Human-readable scheduling policy name (``'layer-by-layer'`` or
+        ``'clsa-cim'``).
+    tasks:
+        All scheduled sets.
+    """
+
+    policy: str
+    tasks: list[SetTask] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> int:
+        """Total inference latency in cycles (``t_NN``)."""
+        return max((task.end for task in self.tasks), default=0)
+
+    def tasks_of(self, layer: str) -> list[SetTask]:
+        """Tasks of one layer, in set order."""
+        return sorted(
+            (task for task in self.tasks if task.layer == layer),
+            key=lambda task: task.set_index,
+        )
+
+    def layers(self) -> list[str]:
+        """Distinct layer names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for task in self.tasks:
+            seen.setdefault(task.layer, None)
+        return list(seen)
+
+    def busy_cycles(self) -> dict[str, int]:
+        """Per-layer busy cycles (sum of set durations)."""
+        totals: dict[str, int] = {}
+        for task in self.tasks:
+            totals[task.layer] = totals.get(task.layer, 0) + task.duration
+        return totals
+
+    def layer_span(self, layer: str) -> tuple[int, int]:
+        """Earliest start and latest end of one layer's tasks."""
+        tasks = self.tasks_of(layer)
+        if not tasks:
+            raise KeyError(f"no tasks for layer '{layer}'")
+        return (min(t.start for t in tasks), max(t.end for t in tasks))
+
+    def validate_intra_layer_order(self) -> None:
+        """Check the resource rule: a layer's sets never overlap in time.
+
+        Sets of the same layer share that layer's PEs (the orange
+        resource dependencies of Fig. 5(b)) and must run sequentially —
+        in whatever execution order the scheduler chose.
+        """
+        for layer in self.layers():
+            tasks = sorted(self.tasks_of(layer), key=lambda task: task.start)
+            for earlier, later in zip(tasks, tasks[1:]):
+                if later.start < earlier.end:
+                    raise AssertionError(
+                        f"resource violation in '{layer}': set "
+                        f"{later.set_index} starts at {later.start} before set "
+                        f"{earlier.set_index} ends at {earlier.end}"
+                    )

@@ -1,0 +1,60 @@
+"""Preprocessing frontend: BN folding, partitioning, quantization.
+
+Implements the high-level optimizations of Section III-A that turn a
+framework-style model into the canonical base/non-base representation
+consumed by the mapping and scheduling stages.
+"""
+
+from .bn_folding import BnFoldReport, fold_batch_norms
+from .partitioning import (
+    PartitionReport,
+    decouple_bias,
+    decouple_padding,
+    is_canonical,
+    partition_graph,
+)
+from .pipeline import PreprocessReport, preprocess
+from .simplify import (
+    SimplifyReport,
+    drop_zero_pads,
+    eliminate_dead_nodes,
+    merge_pads,
+    remove_identities,
+    simplify,
+)
+from .quantization import (
+    LayerQuantization,
+    QuantizationConfig,
+    QuantizationError,
+    QuantizationReport,
+    integer_levels,
+    quantization_error_bound,
+    quantize_graph,
+    quantize_tensor,
+)
+
+__all__ = [
+    "BnFoldReport",
+    "LayerQuantization",
+    "PartitionReport",
+    "PreprocessReport",
+    "QuantizationConfig",
+    "QuantizationError",
+    "QuantizationReport",
+    "SimplifyReport",
+    "decouple_bias",
+    "decouple_padding",
+    "drop_zero_pads",
+    "eliminate_dead_nodes",
+    "fold_batch_norms",
+    "merge_pads",
+    "remove_identities",
+    "simplify",
+    "integer_levels",
+    "is_canonical",
+    "partition_graph",
+    "preprocess",
+    "quantization_error_bound",
+    "quantize_graph",
+    "quantize_tensor",
+]

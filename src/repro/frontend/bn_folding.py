@@ -1,0 +1,85 @@
+"""Batch-normalization folding (Section III-A of the paper).
+
+For inference, a BatchNorm that directly follows a Conv2D or Dense
+layer can be merged into that layer by rescaling its kernel weights and
+adjusting its bias::
+
+    y = gamma * (conv(x) + b - mean) / sqrt(var + eps) + beta
+      = conv'(x) + b'        with  w' = w * s,  b' = (b - mean) * s + beta,
+                                   s  = gamma / sqrt(var + eps)
+
+The fold is *numeric* when both the base layer and the BatchNorm carry
+parameter arrays, and *structural* (graph shape only) when the graph is
+geometry-only — scheduling experiments never need the numbers, but the
+functional tests verify the numeric path to float tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.ops import BatchNorm, Conv2D, Dense
+
+
+@dataclass
+class BnFoldReport:
+    """Summary of one :func:`fold_batch_norms` run."""
+
+    folded: list[tuple[str, str]] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def num_folded(self) -> int:
+        """Number of BatchNorm nodes removed."""
+        return len(self.folded)
+
+
+def _can_fold(graph: Graph, bn_name: str) -> bool:
+    """A BN is foldable iff its sole producer is a base layer that only
+    feeds this BN (otherwise other consumers would see changed weights)."""
+    bn = graph[bn_name]
+    if len(bn.inputs) != 1:
+        return False
+    producer = graph[bn.inputs[0]]
+    if not isinstance(producer, (Conv2D, Dense)):
+        return False
+    return graph.consumers(producer.name) == [bn_name]
+
+
+def _fold_numeric(base, bn) -> None:
+    """Apply the w' = w*s, b' = (b - mean)*s + beta rewrite in place."""
+    scale = bn.gamma / np.sqrt(bn.variance + bn.epsilon)
+    if isinstance(base, Conv2D):
+        base.weights = base.weights * scale  # broadcast over out_c axis
+    else:  # Dense: (in_features, units)
+        base.weights = base.weights * scale
+    bias = base.bias if (base.use_bias and base.bias is not None) else 0.0
+    base.bias = (bias - bn.mean) * scale + bn.beta
+
+
+def fold_batch_norms(graph: Graph) -> BnFoldReport:
+    """Fold every foldable BatchNorm into its producing base layer.
+
+    Mutates ``graph`` in place. Foldable BNs are removed from the graph
+    and the base layer gains ``use_bias=True``. BNs that do not follow
+    a base layer (or whose base layer has other consumers) are left
+    untouched and reported in ``skipped``.
+    """
+    report = BnFoldReport()
+    bn_names = [op.name for op in graph if isinstance(op, BatchNorm)]
+    for bn_name in bn_names:
+        if not _can_fold(graph, bn_name):
+            report.skipped.append(bn_name)
+            continue
+        bn = graph[bn_name]
+        base = graph[bn.inputs[0]]
+        has_numerics = base.weights is not None and bn.gamma is not None
+        if has_numerics:
+            _fold_numeric(base, bn)
+        base.use_bias = True
+        graph.bypass(bn_name)
+        report.folded.append((bn_name, base.name))
+    return report

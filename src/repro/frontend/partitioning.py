@@ -1,0 +1,103 @@
+"""Graph partitioning into base and non-base layers (Section III-A).
+
+The canonical NN representation of the paper (Fig. 2) requires that
+base layers (Conv2D, Dense) carry *only* the MVM workload:
+
+* ``same`` padding is decoupled into an explicit :class:`Pad` node —
+  this is why Table I lists the first TinyYOLOv4 convolution with a
+  (417, 417, 3) IFM for a 416x416 input;
+* fused biases are decoupled into explicit :class:`BiasAdd` nodes.
+
+After :func:`partition_graph`, every Conv2D has ``padding='valid'`` and
+every base layer has ``use_bias=False``; everything else in the graph
+is a non-base layer executed by the tile's GPEU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph
+from ..ir.ops import BiasAdd, Conv2D, Dense, Pad, same_padding
+
+
+@dataclass
+class PartitionReport:
+    """Summary of one :func:`partition_graph` run."""
+
+    padding_decoupled: list[str] = field(default_factory=list)
+    bias_decoupled: list[str] = field(default_factory=list)
+    base_layers: list[str] = field(default_factory=list)
+    non_base_layers: list[str] = field(default_factory=list)
+
+
+def decouple_padding(graph: Graph) -> list[str]:
+    """Insert explicit Pad nodes for all same-padded convolutions.
+
+    Returns the names of the convolutions that were rewritten.  The new
+    Pad node is named ``<conv>_pad``.  Convolutions whose SAME padding
+    turns out to be zero are just switched to ``valid``.
+    """
+    rewritten = []
+    shapes = graph.infer_shapes()
+    for name in list(graph.topological_order()):
+        op = graph[name]
+        if not isinstance(op, Conv2D) or op.padding != "same":
+            continue
+        in_shape = shapes[op.inputs[0]]
+        pad_top, pad_bottom = same_padding(in_shape.height, op.kernel[0], op.strides[0])
+        pad_left, pad_right = same_padding(in_shape.width, op.kernel[1], op.strides[1])
+        op.padding = "valid"
+        if pad_top or pad_bottom or pad_left or pad_right:
+            pad = Pad(
+                graph.unique_name(f"{name}_pad"),
+                [op.inputs[0]],
+                pad_top=pad_top,
+                pad_bottom=pad_bottom,
+                pad_left=pad_left,
+                pad_right=pad_right,
+            )
+            graph.add(pad)
+            graph.replace_input(name, op.inputs[0], pad.name)
+        rewritten.append(name)
+    return rewritten
+
+
+def decouple_bias(graph: Graph) -> list[str]:
+    """Extract fused biases of base layers into BiasAdd nodes.
+
+    Returns the names of the rewritten base layers.  The BiasAdd node is
+    named ``<layer>_bias`` and inherits the numeric bias vector if one
+    is present.
+    """
+    rewritten = []
+    for name in list(graph.topological_order()):
+        op = graph[name]
+        if not isinstance(op, (Conv2D, Dense)) or not op.use_bias:
+            continue
+        bias_op = BiasAdd(graph.unique_name(f"{name}_bias"), bias=op.bias)
+        graph.insert_after(name, bias_op)
+        op.use_bias = False
+        op.bias = None
+        rewritten.append(name)
+    return rewritten
+
+
+def partition_graph(graph: Graph) -> PartitionReport:
+    """Bring ``graph`` into the canonical base/non-base form in place."""
+    report = PartitionReport()
+    report.padding_decoupled = decouple_padding(graph)
+    report.bias_decoupled = decouple_bias(graph)
+    report.base_layers = graph.base_layers()
+    report.non_base_layers = graph.non_base_layers()
+    return report
+
+
+def is_canonical(graph: Graph) -> bool:
+    """Whether every base layer is pure MVM (valid padding, no bias)."""
+    for op in graph:
+        if isinstance(op, Conv2D) and (op.padding != "valid" or op.use_bias):
+            return False
+        if isinstance(op, Dense) and op.use_bias:
+            return False
+    return True

@@ -1,0 +1,91 @@
+"""End-to-end preprocessing pipeline (Section III of the paper).
+
+``preprocess`` chains the three Section III-A stages in order —
+BN folding, partitioning, quantization — and returns the canonical
+graph together with a report of everything that was done.  The input
+graph is never mutated; callers keep their original model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.graph import Graph
+from ..ir.validate import check_graph
+from .bn_folding import BnFoldReport, fold_batch_norms
+from .partitioning import PartitionReport, is_canonical, partition_graph
+from .quantization import QuantizationConfig, QuantizationReport, quantize_graph
+
+
+@dataclass
+class PreprocessReport:
+    """Everything the preprocessing pipeline did to a model."""
+
+    graph: Graph
+    bn_folding: BnFoldReport
+    partitioning: PartitionReport
+    quantization: Optional[QuantizationReport]
+
+    @property
+    def base_layers(self) -> list[str]:
+        """Base layers of the canonical graph, in topological order."""
+        return self.partitioning.base_layers
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        parts = [
+            f"model '{self.graph.name}':",
+            f"{self.bn_folding.num_folded} BN folded",
+            f"{len(self.partitioning.padding_decoupled)} paddings decoupled",
+            f"{len(self.partitioning.bias_decoupled)} biases decoupled",
+            f"{len(self.base_layers)} base layers",
+            f"{len(self.partitioning.non_base_layers)} non-base layers",
+        ]
+        if self.quantization is not None:
+            parts.append(
+                f"quantized to {self.quantization.config.weight_bits} bits "
+                f"(max |err| {self.quantization.max_abs_error:.3g})"
+            )
+        return ", ".join(parts)
+
+
+def preprocess(
+    graph: Graph,
+    quantization: Optional[QuantizationConfig] = QuantizationConfig(),
+    validate: bool = True,
+) -> PreprocessReport:
+    """Produce the canonical NN representation of a model.
+
+    Parameters
+    ----------
+    graph:
+        The raw model (possibly with fused padding/bias and BN layers).
+        Left unmodified; the canonical graph is a copy.
+    quantization:
+        Quantization settings, or ``None`` to skip quantization (useful
+        for geometry-only scheduling runs).
+    validate:
+        Run structural validation on the result (cheap; recommended).
+
+    Returns
+    -------
+    PreprocessReport
+        Carries the canonical graph and per-stage reports.
+    """
+    canonical = graph.copy(f"{graph.name}_canonical")
+    bn_report = fold_batch_norms(canonical)
+    partition_report = partition_graph(canonical)
+    quant_report = None
+    if quantization is not None:
+        quant_report = quantize_graph(canonical, quantization)
+    if validate:
+        check_graph(canonical)
+        if not is_canonical(canonical):  # pragma: no cover - defensive
+            raise AssertionError("preprocessing did not reach canonical form")
+    return PreprocessReport(
+        graph=canonical,
+        bn_folding=bn_report,
+        partitioning=partition_report,
+        quantization=quant_report,
+    )

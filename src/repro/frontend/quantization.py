@@ -1,0 +1,165 @@
+"""Weight quantization for RRAM crossbar cells (Section III-A).
+
+RRAM cells offer a limited number of programmable conductance levels —
+up to 4 bits for the chips the paper cites [4] — so base-layer weights
+must be quantized before mapping.  This module implements uniform
+symmetric *fake quantization*: weights are rounded to the integer grid
+and immediately de-quantized, so the executor and all downstream passes
+keep operating on floats while the values are exactly representable in
+``weight_bits`` signed levels (per-tensor or per-channel scaling).
+
+Scheduling results never depend on the numeric weights; quantization is
+part of the preprocessing contract and is verified by error-bound tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.ops import Conv2D, Dense
+
+
+class QuantizationError(ValueError):
+    """Raised for invalid quantization configurations or inputs."""
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Uniform symmetric quantization settings.
+
+    Attributes
+    ----------
+    weight_bits:
+        Signed resolution of a crossbar cell (paper: up to 4 bits).
+    per_channel:
+        Scale per output channel (True) or per tensor (False).
+    """
+
+    weight_bits: int = 4
+    per_channel: bool = True
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.weight_bits <= 16:
+            raise QuantizationError(
+                f"weight_bits must be in [2, 16], got {self.weight_bits}"
+            )
+
+    @property
+    def q_max(self) -> int:
+        """Largest positive integer level, ``2**(bits-1) - 1``."""
+        return 2 ** (self.weight_bits - 1) - 1
+
+
+@dataclass
+class LayerQuantization:
+    """Quantization result for one base layer."""
+
+    layer: str
+    scale: np.ndarray  # per-channel or scalar (as 0-d array)
+    max_abs_error: float
+    bits: int
+
+
+@dataclass
+class QuantizationReport:
+    """Aggregate result of :func:`quantize_graph`."""
+
+    config: QuantizationConfig = field(default_factory=QuantizationConfig)
+    layers: list[LayerQuantization] = field(default_factory=list)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Worst per-weight absolute error across all layers."""
+        return max((entry.max_abs_error for entry in self.layers), default=0.0)
+
+
+def quantize_tensor(
+    weights: np.ndarray, config: QuantizationConfig, channel_axis: Optional[int] = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fake-quantize a weight tensor.
+
+    Returns ``(dequantized_weights, scale)``.  With ``per_channel`` the
+    scale has one entry per index of ``channel_axis``; otherwise it is a
+    scalar 0-d array.  All-zero channels get scale 1.0 (any scale
+    represents zero exactly).
+    """
+    weights = np.asarray(weights, dtype=float)
+    if config.per_channel and channel_axis is not None:
+        moved = np.moveaxis(weights, channel_axis, -1)
+        flat = moved.reshape(-1, moved.shape[-1])
+        max_abs = np.abs(flat).max(axis=0)
+    else:
+        max_abs = np.asarray(np.abs(weights).max())
+    scale = np.where(max_abs > 0.0, max_abs / config.q_max, 1.0)
+    if config.per_channel and channel_axis is not None:
+        shape = [1] * weights.ndim
+        shape[channel_axis] = weights.shape[channel_axis]
+        broadcast_scale = scale.reshape(shape)
+    else:
+        broadcast_scale = scale
+    levels = np.clip(np.round(weights / broadcast_scale), -config.q_max, config.q_max)
+    return levels * broadcast_scale, scale
+
+
+def quantization_error_bound(scale: np.ndarray) -> float:
+    """Worst-case rounding error: half an integer step, ``max(scale)/2``."""
+    return float(np.max(scale)) / 2.0
+
+
+def quantize_graph(graph: Graph, config: Optional[QuantizationConfig] = None) -> QuantizationReport:
+    """Fake-quantize all base-layer weights of ``graph`` in place.
+
+    Layers without numeric weights (geometry-only graphs) are skipped —
+    they carry no values to quantize.  Biases are not quantized: they
+    are applied by the GPEU, not stored in crossbar cells.
+    """
+    config = config or QuantizationConfig()
+    report = QuantizationReport(config=config)
+    for name in graph.base_layers():
+        op = graph[name]
+        if op.weights is None:
+            continue
+        if isinstance(op, Conv2D):
+            channel_axis = 3  # (kh, kw, in_c, out_c)
+        elif isinstance(op, Dense):
+            channel_axis = 1  # (in_features, units)
+        else:  # pragma: no cover - base layers are Conv2D/Dense by definition
+            continue
+        original = op.weights
+        quantized, scale = quantize_tensor(original, config, channel_axis)
+        max_abs_error = float(np.abs(quantized - original).max())
+        bound = quantization_error_bound(np.asarray(scale))
+        if max_abs_error > bound + 1e-12:
+            raise QuantizationError(
+                f"quantization of '{name}' exceeded its error bound: "
+                f"{max_abs_error} > {bound}"
+            )
+        op.weights = quantized
+        report.layers.append(
+            LayerQuantization(
+                layer=name,
+                scale=np.asarray(scale),
+                max_abs_error=max_abs_error,
+                bits=config.weight_bits,
+            )
+        )
+    return report
+
+
+def integer_levels(weights: np.ndarray, scale: np.ndarray, channel_axis: int) -> np.ndarray:
+    """Recover integer cell levels from fake-quantized weights.
+
+    Useful for inspecting what would actually be programmed into the
+    crossbar: ``levels = weights / scale`` rounded to nearest int.
+    """
+    weights = np.asarray(weights, dtype=float)
+    scale = np.asarray(scale)
+    if scale.ndim > 0:
+        shape = [1] * weights.ndim
+        shape[channel_axis] = weights.shape[channel_axis]
+        scale = scale.reshape(shape)
+    return np.round(weights / scale).astype(int)

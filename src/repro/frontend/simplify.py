@@ -1,0 +1,144 @@
+"""Graph simplification passes.
+
+Cleanup passes that keep canonical graphs minimal after rewrites:
+
+* :func:`remove_identities` — bypass Identity nodes;
+* :func:`merge_pads` — fuse chains of consecutive Pad nodes;
+* :func:`drop_zero_pads` — remove Pads that add no border;
+* :func:`eliminate_dead_nodes` — delete nodes unreachable from the
+  requested outputs (e.g. debris after experimental rewrites);
+* :func:`simplify` — run all of the above to a fixed point.
+
+All passes are semantics-preserving (verified by functional tests) and
+mutate the graph in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..ir.graph import Graph
+from ..ir.ops import Identity, Pad
+
+
+@dataclass
+class SimplifyReport:
+    """What :func:`simplify` changed."""
+
+    identities_removed: list[str] = field(default_factory=list)
+    pads_merged: list[tuple[str, str]] = field(default_factory=list)
+    zero_pads_dropped: list[str] = field(default_factory=list)
+    dead_nodes_removed: list[str] = field(default_factory=list)
+
+    @property
+    def total_changes(self) -> int:
+        return (
+            len(self.identities_removed)
+            + len(self.pads_merged)
+            + len(self.zero_pads_dropped)
+            + len(self.dead_nodes_removed)
+        )
+
+
+def remove_identities(graph: Graph) -> list[str]:
+    """Bypass every Identity node; returns the removed names."""
+    removed = []
+    for name in list(graph.topological_order()):
+        op = graph[name]
+        if isinstance(op, Identity) and graph.consumers(name):
+            graph.bypass(name)
+            removed.append(name)
+    return removed
+
+
+def drop_zero_pads(graph: Graph) -> list[str]:
+    """Remove Pad nodes whose four amounts are all zero."""
+    removed = []
+    for name in list(graph.topological_order()):
+        op = graph[name]
+        if isinstance(op, Pad) and op.is_identity and graph.consumers(name):
+            graph.bypass(name)
+            removed.append(name)
+    return removed
+
+
+def merge_pads(graph: Graph) -> list[tuple[str, str]]:
+    """Fuse ``Pad -> Pad`` chains into the downstream Pad.
+
+    Only merges when the upstream Pad feeds exactly this one consumer
+    (otherwise other consumers would see changed padding) and both pads
+    use the same fill value.
+    """
+    merged = []
+    changed = True
+    while changed:
+        changed = False
+        for name in list(graph.topological_order()):
+            op = graph[name]
+            if not isinstance(op, Pad):
+                continue
+            producer = graph[op.inputs[0]] if op.inputs else None
+            if (
+                isinstance(producer, Pad)
+                and graph.consumers(producer.name) == [name]
+                and producer.value == op.value
+            ):
+                op.pad_top += producer.pad_top
+                op.pad_bottom += producer.pad_bottom
+                op.pad_left += producer.pad_left
+                op.pad_right += producer.pad_right
+                graph.bypass(producer.name)
+                merged.append((producer.name, name))
+                changed = True
+                break
+    return merged
+
+
+def eliminate_dead_nodes(graph: Graph, outputs: Optional[Sequence[str]] = None) -> list[str]:
+    """Remove nodes not reachable (producer-wards) from ``outputs``.
+
+    ``outputs`` defaults to the graph's natural outputs (nodes with no
+    consumers), in which case nothing is dead by construction; pass an
+    explicit list to prune a graph down to a sub-network.
+    """
+    targets = list(outputs) if outputs is not None else graph.output_names()
+    for target in targets:
+        if target not in graph:
+            raise KeyError(f"output '{target}' is not in the graph")
+    alive: set[str] = set()
+    stack = list(targets)
+    while stack:
+        name = stack.pop()
+        if name in alive:
+            continue
+        alive.add(name)
+        stack.extend(graph[name].inputs)
+    removed = []
+    # delete in reverse topological order so consumers go first
+    for name in reversed(graph.topological_order()):
+        if name not in alive:
+            graph.remove(name)
+            removed.append(name)
+    return removed
+
+
+def simplify(graph: Graph, outputs: Optional[Sequence[str]] = None) -> SimplifyReport:
+    """Run all simplification passes to a fixed point."""
+    report = SimplifyReport()
+    while True:
+        changes = 0
+        identities = remove_identities(graph)
+        report.identities_removed.extend(identities)
+        changes += len(identities)
+        zero_pads = drop_zero_pads(graph)
+        report.zero_pads_dropped.extend(zero_pads)
+        changes += len(zero_pads)
+        merged = merge_pads(graph)
+        report.pads_merged.extend(merged)
+        changes += len(merged)
+        if changes == 0:
+            break
+    dead = eliminate_dead_nodes(graph, outputs)
+    report.dead_nodes_removed.extend(dead)
+    return report

@@ -1,0 +1,89 @@
+"""NN graph intermediate representation.
+
+The IR is the substrate every other subsystem builds on: a batch-free
+HWC tensor model, a DAG of operators with shape inference and backward
+region propagation, a numpy reference executor, and JSON serialization.
+"""
+
+from .builder import GraphBuilder
+from .executor import Executor, conv2d_reference, im2col_patches, run_graph
+from .graph import Graph, GraphError, sequential
+from .ops import (
+    ACTIVATION_KINDS,
+    BASE_OP_TYPES,
+    OP_TYPES,
+    Activation,
+    Add,
+    AvgPool,
+    BatchNorm,
+    BiasAdd,
+    Concat,
+    ConcatSpatial,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Input,
+    MaxPool,
+    Op,
+    OpError,
+    Pad,
+    Slice,
+    Upsample,
+    conv_out_size,
+    same_padding,
+)
+from .serialize import dumps, graph_from_dict, graph_to_dict, load, loads, save
+from .tensor import Rect, Shape, rect_grid, split_extent
+from .validate import check_graph, validate_graph
+from .viz import save_dot, to_dot
+
+__all__ = [
+    "ACTIVATION_KINDS",
+    "Activation",
+    "Add",
+    "AvgPool",
+    "BASE_OP_TYPES",
+    "BatchNorm",
+    "BiasAdd",
+    "Concat",
+    "ConcatSpatial",
+    "Conv2D",
+    "Dense",
+    "Executor",
+    "Flatten",
+    "GlobalAvgPool",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Identity",
+    "Input",
+    "MaxPool",
+    "OP_TYPES",
+    "Op",
+    "OpError",
+    "Pad",
+    "Rect",
+    "Shape",
+    "Slice",
+    "Upsample",
+    "check_graph",
+    "conv2d_reference",
+    "conv_out_size",
+    "dumps",
+    "graph_from_dict",
+    "graph_to_dict",
+    "im2col_patches",
+    "load",
+    "loads",
+    "rect_grid",
+    "run_graph",
+    "same_padding",
+    "save",
+    "save_dot",
+    "sequential",
+    "split_extent",
+    "to_dot",
+    "validate_graph",
+]

@@ -1,0 +1,280 @@
+"""Fluent builder for constructing IR graphs.
+
+The model zoo (``repro.models``) uses this builder; it handles unique
+naming and wiring so model definitions read like framework code::
+
+    b = GraphBuilder("lenet-ish")
+    x = b.input((28, 28, 1))
+    x = b.conv2d(x, 8, kernel=3, padding="same")
+    x = b.activation(x, "relu")
+    x = b.maxpool(x, 2)
+    g = b.graph
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .graph import Graph
+from .ops import (
+    Activation,
+    Add,
+    AvgPool,
+    BatchNorm,
+    BiasAdd,
+    Concat,
+    ConcatSpatial,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Input,
+    MaxPool,
+    Pad,
+    Slice,
+    Upsample,
+)
+from .tensor import Shape
+
+IntPair = Union[int, tuple[int, int]]
+
+
+def _pair(value: IntPair) -> tuple[int, int]:
+    """Normalise an int or 2-tuple to a 2-tuple."""
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+class GraphBuilder:
+    """Incrementally builds a :class:`~repro.ir.graph.Graph`.
+
+    Every method adds one node and returns its name, which is then used
+    as the input handle for subsequent nodes.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.graph = Graph(name)
+        self._counters: dict[str, int] = {}
+
+    def _next_name(self, stem: str, explicit: Optional[str]) -> str:
+        if explicit is not None:
+            return explicit
+        count = self._counters.get(stem, 0)
+        self._counters[stem] = count + 1
+        # Match the TensorFlow naming scheme visible in the paper's
+        # Table I: first instance 'conv2d', then 'conv2d_1', ...
+        return stem if count == 0 else f"{stem}_{count}"
+
+    def input(self, shape: Sequence[int], name: Optional[str] = None) -> str:
+        """Add a graph input with HWC ``shape``."""
+        op = Input(self._next_name("input", name), [], shape=Shape.from_tuple(shape))
+        self.graph.add(op)
+        return op.name
+
+    def conv2d(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: IntPair = 3,
+        strides: IntPair = 1,
+        padding: str = "same",
+        use_bias: bool = True,
+        name: Optional[str] = None,
+    ) -> str:
+        """Add a Conv2D base layer."""
+        op = Conv2D(
+            self._next_name("conv2d", name),
+            [x],
+            out_channels=out_channels,
+            kernel=_pair(kernel),
+            strides=_pair(strides),
+            padding=padding,
+            use_bias=use_bias,
+        )
+        self.graph.add(op)
+        return op.name
+
+    def dense(
+        self, x: str, units: int, use_bias: bool = True, name: Optional[str] = None
+    ) -> str:
+        """Add a Dense base layer (input must be flattened)."""
+        op = Dense(self._next_name("dense", name), [x], units=units, use_bias=use_bias)
+        self.graph.add(op)
+        return op.name
+
+    def batch_norm(self, x: str, name: Optional[str] = None, epsilon: float = 1e-3) -> str:
+        """Add an inference-mode BatchNorm node."""
+        op = BatchNorm(self._next_name("batch_normalization", name), [x], epsilon=epsilon)
+        self.graph.add(op)
+        return op.name
+
+    def bias_add(self, x: str, name: Optional[str] = None) -> str:
+        """Add an explicit BiasAdd node."""
+        op = BiasAdd(self._next_name("bias_add", name), [x])
+        self.graph.add(op)
+        return op.name
+
+    def pad(
+        self,
+        x: str,
+        pads: tuple[int, int, int, int],
+        name: Optional[str] = None,
+    ) -> str:
+        """Add explicit zero padding ``(top, bottom, left, right)``."""
+        top, bottom, left, right = pads
+        op = Pad(
+            self._next_name("pad", name),
+            [x],
+            pad_top=top,
+            pad_bottom=bottom,
+            pad_left=left,
+            pad_right=right,
+        )
+        self.graph.add(op)
+        return op.name
+
+    def activation(
+        self, x: str, kind: str = "relu", alpha: float = 0.1, name: Optional[str] = None
+    ) -> str:
+        """Add an elementwise activation."""
+        op = Activation(self._next_name(kind, name), [x], kind=kind, alpha=alpha)
+        self.graph.add(op)
+        return op.name
+
+    def leaky_relu(self, x: str, alpha: float = 0.1, name: Optional[str] = None) -> str:
+        """Shorthand for a LeakyReLU activation."""
+        return self.activation(x, "leaky_relu", alpha=alpha, name=name)
+
+    def relu(self, x: str, name: Optional[str] = None) -> str:
+        """Shorthand for a ReLU activation."""
+        return self.activation(x, "relu", name=name)
+
+    def maxpool(
+        self,
+        x: str,
+        pool: IntPair = 2,
+        strides: Optional[IntPair] = None,
+        padding: str = "valid",
+        name: Optional[str] = None,
+    ) -> str:
+        """Add a MaxPool node."""
+        op = MaxPool(
+            self._next_name("max_pooling2d", name),
+            [x],
+            pool=_pair(pool),
+            strides=None if strides is None else _pair(strides),
+            padding=padding,
+        )
+        self.graph.add(op)
+        return op.name
+
+    def avgpool(
+        self,
+        x: str,
+        pool: IntPair = 2,
+        strides: Optional[IntPair] = None,
+        padding: str = "valid",
+        name: Optional[str] = None,
+    ) -> str:
+        """Add an AvgPool node."""
+        op = AvgPool(
+            self._next_name("average_pooling2d", name),
+            [x],
+            pool=_pair(pool),
+            strides=None if strides is None else _pair(strides),
+            padding=padding,
+        )
+        self.graph.add(op)
+        return op.name
+
+    def global_avgpool(self, x: str, name: Optional[str] = None) -> str:
+        """Add a GlobalAvgPool node."""
+        op = GlobalAvgPool(self._next_name("global_average_pooling2d", name), [x])
+        self.graph.add(op)
+        return op.name
+
+    def add(self, xs: Sequence[str], name: Optional[str] = None) -> str:
+        """Add an elementwise Add over ``xs``."""
+        op = Add(self._next_name("add", name), list(xs))
+        self.graph.add(op)
+        return op.name
+
+    def concat(self, xs: Sequence[str], name: Optional[str] = None) -> str:
+        """Add a channel Concat over ``xs``."""
+        op = Concat(self._next_name("concatenate", name), list(xs))
+        self.graph.add(op)
+        return op.name
+
+    def concat_spatial(
+        self, xs: Sequence[str], axis: str = "height", name: Optional[str] = None
+    ) -> str:
+        """Add a spatial ConcatSpatial over ``xs``."""
+        op = ConcatSpatial(self._next_name("concat_spatial", name), list(xs), axis=axis)
+        self.graph.add(op)
+        return op.name
+
+    def slice(
+        self,
+        x: str,
+        offsets: tuple[int, int, int] = (0, 0, 0),
+        sizes: tuple[int, int, int] = (-1, -1, -1),
+        name: Optional[str] = None,
+    ) -> str:
+        """Add a static Slice node."""
+        op = Slice(self._next_name("slice", name), [x], offsets=offsets, sizes=sizes)
+        self.graph.add(op)
+        return op.name
+
+    def channel_slice(
+        self, x: str, begin: int, size: int, name: Optional[str] = None
+    ) -> str:
+        """Slice a channel range, keeping the full spatial extent."""
+        return self.slice(x, offsets=(0, 0, begin), sizes=(-1, -1, size), name=name)
+
+    def upsample(self, x: str, factor: int = 2, name: Optional[str] = None) -> str:
+        """Add nearest-neighbour upsampling."""
+        op = Upsample(self._next_name("up_sampling2d", name), [x], factor=factor)
+        self.graph.add(op)
+        return op.name
+
+    def flatten(self, x: str, name: Optional[str] = None) -> str:
+        """Add a Flatten node."""
+        op = Flatten(self._next_name("flatten", name), [x])
+        self.graph.add(op)
+        return op.name
+
+    def identity(self, x: str, name: Optional[str] = None) -> str:
+        """Add an Identity alias node."""
+        op = Identity(self._next_name("identity", name), [x])
+        self.graph.add(op)
+        return op.name
+
+    # Composite helpers ------------------------------------------------
+
+    def conv_bn_act(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: IntPair = 3,
+        strides: IntPair = 1,
+        padding: str = "same",
+        activation: str = "leaky_relu",
+        alpha: float = 0.1,
+        name: Optional[str] = None,
+    ) -> str:
+        """Conv2D (no bias) + BatchNorm + activation, the common CNN block."""
+        x = self.conv2d(
+            x,
+            out_channels,
+            kernel=kernel,
+            strides=strides,
+            padding=padding,
+            use_bias=False,
+            name=name,
+        )
+        x = self.batch_norm(x)
+        if activation != "linear":
+            x = self.activation(x, activation, alpha=alpha)
+        return x

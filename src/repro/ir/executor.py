@@ -1,0 +1,305 @@
+"""Numpy reference executor for IR graphs.
+
+The executor provides *functional* ground truth: it computes the actual
+numeric output of a graph so the frontend passes (BN folding,
+partitioning, quantization) and the weight-duplication rewrite can be
+verified for semantic equivalence, not just for shape bookkeeping.
+
+Convolutions run through an explicit im2col + GEMM path — the same
+lowering the CIM mapping uses (Fig. 3 of the paper) — so the executor
+also validates the im2col transformation itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .graph import Graph
+from .ops import (
+    Activation,
+    Add,
+    AvgPool,
+    BatchNorm,
+    BiasAdd,
+    Concat,
+    ConcatSpatial,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Input,
+    MaxPool,
+    Op,
+    Pad,
+    Slice,
+    Upsample,
+)
+from .tensor import Shape
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a graph cannot be executed numerically."""
+
+
+def im2col_patches(
+    ifm: np.ndarray, kernel: tuple[int, int], strides: tuple[int, int]
+) -> np.ndarray:
+    """Unroll convolution input patches into a matrix (im2col).
+
+    Parameters
+    ----------
+    ifm:
+        Input feature map of shape ``(H, W, C)`` (already padded).
+    kernel:
+        ``(kh, kw)`` window size.
+    strides:
+        ``(sh, sw)`` window strides.
+
+    Returns
+    -------
+    np.ndarray
+        Matrix of shape ``(OH * OW, kh * kw * C)``; row ``i`` holds the
+        flattened receptive field of output position ``i`` (row-major),
+        matching the kernel-matrix layout of Fig. 3.
+    """
+    height, width, channels = ifm.shape
+    kh, kw = kernel
+    sh, sw = strides
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    if out_h < 1 or out_w < 1:
+        raise ExecutionError(
+            f"kernel {kernel} does not fit input of shape {ifm.shape}"
+        )
+    patches = np.empty((out_h * out_w, kh * kw * channels), dtype=ifm.dtype)
+    index = 0
+    for row in range(out_h):
+        r0 = row * sh
+        for col in range(out_w):
+            c0 = col * sw
+            patches[index] = ifm[r0 : r0 + kh, c0 : c0 + kw, :].reshape(-1)
+            index += 1
+    return patches
+
+
+def conv2d_reference(
+    ifm: np.ndarray,
+    weights: np.ndarray,
+    strides: tuple[int, int],
+    padding: str,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reference Conv2D via im2col + GEMM.
+
+    ``weights`` has shape ``(kh, kw, in_c, out_c)``.  The kernel matrix
+    is the ``(kh*kw*in_c, out_c)`` reshape of the weights, exactly the
+    matrix that the CIM mapping tiles onto crossbar PEs.
+    """
+    kh, kw, in_c, out_c = weights.shape
+    if ifm.shape[2] != in_c:
+        raise ExecutionError(
+            f"input channels {ifm.shape[2]} do not match weight channels {in_c}"
+        )
+    if padding == "same":
+        from .ops import same_padding
+
+        pad_h = same_padding(ifm.shape[0], kh, strides[0])
+        pad_w = same_padding(ifm.shape[1], kw, strides[1])
+        ifm = np.pad(ifm, (pad_h, pad_w, (0, 0)))
+    out_h = (ifm.shape[0] - kh) // strides[0] + 1
+    out_w = (ifm.shape[1] - kw) // strides[1] + 1
+    patches = im2col_patches(ifm, (kh, kw), strides)
+    kernel_matrix = weights.reshape(kh * kw * in_c, out_c)
+    result = patches @ kernel_matrix
+    if bias is not None:
+        result = result + bias
+    return result.reshape(out_h, out_w, out_c)
+
+
+def _pool_windows(
+    ifm: np.ndarray,
+    pool: tuple[int, int],
+    strides: tuple[int, int],
+    padding: str,
+    reducer: str,
+) -> np.ndarray:
+    """Shared max/avg pooling implementation."""
+    ph, pw = pool
+    sh, sw = strides
+    if padding == "same":
+        from .ops import same_padding
+
+        pad_h = same_padding(ifm.shape[0], ph, sh)
+        pad_w = same_padding(ifm.shape[1], pw, sw)
+        fill = -np.inf if reducer == "max" else 0.0
+        ifm = np.pad(ifm, (pad_h, pad_w, (0, 0)), constant_values=fill)
+    out_h = (ifm.shape[0] - ph) // sh + 1
+    out_w = (ifm.shape[1] - pw) // sw + 1
+    out = np.empty((out_h, out_w, ifm.shape[2]), dtype=np.result_type(ifm.dtype, float))
+    for row in range(out_h):
+        for col in range(out_w):
+            window = ifm[row * sh : row * sh + ph, col * sw : col * sw + pw, :]
+            if reducer == "max":
+                out[row, col, :] = window.max(axis=(0, 1))
+            else:
+                out[row, col, :] = window.mean(axis=(0, 1))
+    return out
+
+
+def _apply_activation(x: np.ndarray, kind: str, alpha: float) -> np.ndarray:
+    if kind == "linear":
+        return x
+    if kind == "relu":
+        return np.maximum(x, 0.0)
+    if kind == "relu6":
+        return np.clip(x, 0.0, 6.0)
+    if kind == "leaky_relu":
+        return np.where(x >= 0.0, x, alpha * x)
+    if kind == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    if kind == "tanh":
+        return np.tanh(x)
+    raise ExecutionError(f"unknown activation kind {kind!r}")
+
+
+class Executor:
+    """Evaluates a graph on concrete numpy inputs.
+
+    Example
+    -------
+    >>> outputs = Executor(graph).run({"input": image})
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.shapes = graph.infer_shapes()
+
+    def run(
+        self,
+        inputs: Union[np.ndarray, dict[str, np.ndarray]],
+        node_names: Optional[list[str]] = None,
+    ) -> dict[str, np.ndarray]:
+        """Execute the graph.
+
+        Parameters
+        ----------
+        inputs:
+            Either a dict mapping input node names to arrays, or a bare
+            array when the graph has exactly one input.
+        node_names:
+            Which node outputs to return; defaults to the graph outputs.
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            Requested node outputs, keyed by node name.
+        """
+        input_names = self.graph.input_names()
+        if not isinstance(inputs, dict):
+            if len(input_names) != 1:
+                raise ExecutionError(
+                    f"graph has {len(input_names)} inputs; pass a dict of arrays"
+                )
+            inputs = {input_names[0]: inputs}
+        missing = [name for name in input_names if name not in inputs]
+        if missing:
+            raise ExecutionError(f"missing values for graph inputs {missing}")
+
+        values: dict[str, np.ndarray] = {}
+        requested = node_names if node_names is not None else self.graph.output_names()
+        for name in self.graph.topological_order():
+            op = self.graph[name]
+            if isinstance(op, Input):
+                value = np.asarray(inputs[name], dtype=float)
+                if value.shape != self.shapes[name].hwc:
+                    raise ExecutionError(
+                        f"input '{name}' has shape {value.shape}, "
+                        f"expected {self.shapes[name].hwc}"
+                    )
+                values[name] = value
+            else:
+                values[name] = self._evaluate(op, [values[p] for p in op.inputs])
+        return {name: values[name] for name in requested}
+
+    def run_single(self, inputs: Union[np.ndarray, dict[str, np.ndarray]]) -> np.ndarray:
+        """Execute and return the single graph output array."""
+        outputs = self.graph.output_names()
+        if len(outputs) != 1:
+            raise ExecutionError(f"graph has {len(outputs)} outputs, expected 1")
+        return self.run(inputs)[outputs[0]]
+
+    def _evaluate(self, op: Op, args: list[np.ndarray]) -> np.ndarray:
+        if isinstance(op, Conv2D):
+            if op.weights is None:
+                raise ExecutionError(
+                    f"Conv2D '{op.name}' has no weights; call graph.initialize_weights()"
+                )
+            bias = op.bias if op.use_bias else None
+            return conv2d_reference(args[0], op.weights, op.strides, op.padding, bias)
+        if isinstance(op, Dense):
+            if op.weights is None:
+                raise ExecutionError(
+                    f"Dense '{op.name}' has no weights; call graph.initialize_weights()"
+                )
+            flat = args[0].reshape(-1)
+            result = flat @ op.weights
+            if op.use_bias and op.bias is not None:
+                result = result + op.bias
+            return result.reshape(1, 1, -1)
+        if isinstance(op, BatchNorm):
+            if op.gamma is None or op.variance is None:
+                raise ExecutionError(
+                    f"BatchNorm '{op.name}' has no parameters; "
+                    "call graph.initialize_weights()"
+                )
+            scale = op.gamma / np.sqrt(op.variance + op.epsilon)
+            return (args[0] - op.mean) * scale + op.beta
+        if isinstance(op, BiasAdd):
+            if op.bias is None:
+                raise ExecutionError(f"BiasAdd '{op.name}' has no bias values")
+            return args[0] + op.bias
+        if isinstance(op, Pad):
+            return np.pad(
+                args[0],
+                ((op.pad_top, op.pad_bottom), (op.pad_left, op.pad_right), (0, 0)),
+                constant_values=op.value,
+            )
+        if isinstance(op, Activation):
+            return _apply_activation(args[0], op.kind, op.alpha)
+        if isinstance(op, MaxPool):
+            return _pool_windows(args[0], op.pool, op.strides, op.padding, "max")
+        if isinstance(op, AvgPool):
+            return _pool_windows(args[0], op.pool, op.strides, op.padding, "avg")
+        if isinstance(op, GlobalAvgPool):
+            return args[0].mean(axis=(0, 1), keepdims=True)
+        if isinstance(op, Add):
+            result = args[0]
+            for arg in args[1:]:
+                result = result + arg
+            return result
+        if isinstance(op, Concat):
+            return np.concatenate(args, axis=2)
+        if isinstance(op, ConcatSpatial):
+            return np.concatenate(args, axis=0 if op.axis == "height" else 1)
+        if isinstance(op, Slice):
+            in_shape = Shape.from_tuple(args[0].shape)
+            h, w, c = op.resolved_sizes(in_shape)
+            h0, w0, c0 = op.offsets
+            return args[0][h0 : h0 + h, w0 : w0 + w, c0 : c0 + c]
+        if isinstance(op, Upsample):
+            return np.repeat(np.repeat(args[0], op.factor, axis=0), op.factor, axis=1)
+        if isinstance(op, Flatten):
+            return args[0].reshape(1, 1, -1)
+        if isinstance(op, Identity):
+            return args[0]
+        raise ExecutionError(f"no executor rule for op type {op.op_type}")
+
+
+def run_graph(
+    graph: Graph, inputs: Union[np.ndarray, dict[str, np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(graph).run(inputs)

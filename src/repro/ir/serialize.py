@@ -1,0 +1,120 @@
+"""JSON (de)serialization of IR graphs.
+
+Geometry (op types, attributes, wiring) always round-trips; numeric
+parameters (weights, biases, BN statistics) are included only when
+``include_params=True`` since schedules never depend on them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from .graph import Graph
+from .ops import OP_TYPES, Op
+from .tensor import Shape
+
+#: Op attribute names that hold numpy parameter arrays.
+_PARAM_FIELDS = ("weights", "bias", "gamma", "beta", "mean", "variance")
+
+#: Schema version written into every serialized graph.
+FORMAT_VERSION = 1
+
+
+def op_to_dict(op: Op, include_params: bool = False) -> dict[str, Any]:
+    """Serialize one operator to a JSON-compatible dict."""
+    record: dict[str, Any] = {
+        "type": op.op_type,
+        "name": op.name,
+        "inputs": list(op.inputs),
+        "attrs": {},
+    }
+    for field in dataclasses.fields(op):
+        if field.name in ("name", "inputs", "is_base"):
+            continue
+        value = getattr(op, field.name)
+        if field.name in _PARAM_FIELDS:
+            if include_params and value is not None:
+                record["attrs"][field.name] = {
+                    "dtype": str(np.asarray(value).dtype),
+                    "shape": list(np.asarray(value).shape),
+                    "data": np.asarray(value).reshape(-1).tolist(),
+                }
+            continue
+        if isinstance(value, Shape):
+            value = list(value.hwc)
+        elif isinstance(value, tuple):
+            value = list(value)
+        record["attrs"][field.name] = value
+    return record
+
+
+def op_from_dict(record: dict[str, Any]) -> Op:
+    """Deserialize one operator from :func:`op_to_dict` output."""
+    op_type = record.get("type")
+    if op_type not in OP_TYPES:
+        raise ValueError(f"unknown op type {op_type!r}")
+    cls = OP_TYPES[op_type]
+    kwargs: dict[str, Any] = {}
+    field_types = {field.name: field for field in dataclasses.fields(cls)}
+    for key, value in record.get("attrs", {}).items():
+        if key not in field_types:
+            raise ValueError(f"op type {op_type!r} has no attribute {key!r}")
+        if key in _PARAM_FIELDS:
+            array = np.asarray(value["data"], dtype=value["dtype"])
+            kwargs[key] = array.reshape(value["shape"])
+        elif key == "shape":
+            kwargs[key] = Shape.from_tuple(value)
+        elif isinstance(value, list):
+            kwargs[key] = tuple(value)
+        else:
+            kwargs[key] = value
+    return cls(record["name"], list(record.get("inputs", [])), **kwargs)
+
+
+def graph_to_dict(graph: Graph, include_params: bool = False) -> dict[str, Any]:
+    """Serialize a graph (nodes in topological order) to a dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            op_to_dict(graph[name], include_params=include_params)
+            for name in graph.topological_order()
+        ],
+    }
+
+
+def graph_from_dict(record: dict[str, Any]) -> Graph:
+    """Deserialize a graph from :func:`graph_to_dict` output."""
+    version = record.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    graph = Graph(record.get("name", "model"))
+    for node in record["nodes"]:
+        graph.add(op_from_dict(node))
+    return graph
+
+
+def dumps(graph: Graph, include_params: bool = False, indent: Optional[int] = None) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph, include_params=include_params), indent=indent)
+
+
+def loads(text: str) -> Graph:
+    """Deserialize a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def save(graph: Graph, path: str, include_params: bool = False) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph, include_params=include_params, indent=2))
+
+
+def load(path: str) -> Graph:
+    """Read a graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,84 @@
+"""Structural validation of IR graphs.
+
+:func:`validate_graph` returns a list of human-readable issues instead
+of raising, so callers can report everything wrong at once;
+:func:`check_graph` raises on the first problem for use in pipelines.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, GraphError
+from .ops import Conv2D, Dense, Input
+from .tensor import Rect
+
+
+def validate_graph(graph: Graph) -> list[str]:
+    """Collect structural problems with ``graph``.
+
+    Checks: at least one input, acyclicity/dangling edges, shape
+    inference success, no orphan non-output nodes with zero consumers
+    other than genuine outputs, backward region propagation sanity for
+    every node (full output rect must map into input bounds).
+    """
+    issues: list[str] = []
+
+    if not graph.input_names():
+        issues.append("graph has no Input nodes")
+
+    try:
+        order = graph.topological_order()
+    except GraphError as exc:
+        issues.append(str(exc))
+        return issues
+
+    for name in order:
+        op = graph[name]
+        if not isinstance(op, Input) and not op.inputs:
+            issues.append(f"non-input node '{name}' has no producers")
+
+    try:
+        shapes = graph.infer_shapes()
+    except GraphError as exc:
+        issues.append(str(exc))
+        return issues
+
+    for name in order:
+        op = graph[name]
+        if isinstance(op, Input) or not op.inputs:
+            continue
+        input_shapes = [shapes[p] for p in op.inputs]
+        out_shape = shapes[name]
+        try:
+            rects = op.input_regions(out_shape.full_rect(), input_shapes, out_shape)
+        except Exception as exc:  # noqa: BLE001 - report as validation issue
+            issues.append(f"region propagation failed at '{name}': {exc}")
+            continue
+        if len(rects) != len(op.inputs):
+            issues.append(
+                f"'{name}' returned {len(rects)} input regions for "
+                f"{len(op.inputs)} inputs"
+            )
+            continue
+        for producer, rect, in_shape in zip(op.inputs, rects, input_shapes):
+            bounds = Rect(0, 0, in_shape.height, in_shape.width)
+            if not bounds.contains(rect):
+                issues.append(
+                    f"'{name}': required region {rect} of input '{producer}' "
+                    f"exceeds bounds {bounds}"
+                )
+
+    for name in order:
+        op = graph[name]
+        if isinstance(op, (Conv2D, Dense)) and shapes[name].num_elements == 0:
+            issues.append(f"base layer '{name}' has an empty output")
+
+    return issues
+
+
+def check_graph(graph: Graph) -> None:
+    """Raise :class:`GraphError` if the graph has any structural issue."""
+    issues = validate_graph(graph)
+    if issues:
+        raise GraphError(
+            f"graph '{graph.name}' failed validation:\n  - " + "\n  - ".join(issues)
+        )

@@ -1,0 +1,54 @@
+"""Graphviz DOT export of IR graphs.
+
+``to_dot`` produces a DOT string (no graphviz dependency needed to
+*generate* it); base layers render as green boxes and non-base layers
+as blue ellipses, mirroring the paper's Fig. 2 color convention.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .ops import Input
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(graph: Graph, include_shapes: bool = True) -> str:
+    """Render the graph as Graphviz DOT text.
+
+    Parameters
+    ----------
+    graph:
+        The graph to render.
+    include_shapes:
+        Append each node's output shape to its label.
+    """
+    shapes = graph.infer_shapes() if include_shapes else {}
+    lines = [f'digraph "{_escape(graph.name)}" {{', "  rankdir=TB;"]
+    for name in graph.topological_order():
+        op = graph[name]
+        label = f"{name}\\n{op.op_type}"
+        if include_shapes:
+            label += f"\\n{shapes[name]}"
+        if isinstance(op, Input):
+            attrs = 'shape=parallelogram, style=filled, fillcolor="#f0f0f0"'
+        elif op.is_base:
+            # green boxes: base layers (Fig. 2 convention)
+            attrs = 'shape=box, style=filled, fillcolor="#c6e2b5"'
+        else:
+            # blue ellipses: non-base layers
+            attrs = 'shape=ellipse, style=filled, fillcolor="#bcd6ec"'
+        lines.append(f'  "{_escape(name)}" [label="{label}", {attrs}];')
+    for name in graph.topological_order():
+        for producer in graph[name].inputs:
+            lines.append(f'  "{_escape(producer)}" -> "{_escape(name)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(graph: Graph, path: str, include_shapes: bool = True) -> None:
+    """Write the DOT rendering to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(graph, include_shapes=include_shapes) + "\n")

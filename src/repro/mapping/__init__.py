@@ -1,0 +1,48 @@
+"""Mapping stage: im2col lowering, PE tiling, weight duplication, placement."""
+
+from .duplication import (
+    DuplicationError,
+    DuplicationProblem,
+    DuplicationSolution,
+    continuous_lower_bound,
+    problem_from_tilings,
+    solve,
+    solve_dp,
+    solve_greedy,
+)
+from .im2col import GemmLowering, lower_graph, lower_layer
+from .placement import Placement, PlacementError, place_graph
+from .rewrite import DuplicatedLayer, RewriteError, RewriteReport, apply_duplication
+from .tiling import (
+    LayerTiling,
+    layer_table,
+    minimum_pe_requirement,
+    tile_graph,
+    tile_layer,
+)
+
+__all__ = [
+    "DuplicatedLayer",
+    "DuplicationError",
+    "DuplicationProblem",
+    "DuplicationSolution",
+    "GemmLowering",
+    "LayerTiling",
+    "Placement",
+    "PlacementError",
+    "RewriteError",
+    "RewriteReport",
+    "apply_duplication",
+    "continuous_lower_bound",
+    "layer_table",
+    "lower_graph",
+    "lower_layer",
+    "minimum_pe_requirement",
+    "place_graph",
+    "problem_from_tilings",
+    "solve",
+    "solve_dp",
+    "solve_greedy",
+    "tile_graph",
+    "tile_layer",
+]

@@ -1,0 +1,288 @@
+"""Weight-duplication optimization (Section III-C, Optimization Problem 1).
+
+Given per-layer intra-layer latencies ``t_i`` (cycles) and PE costs
+``c_i`` (Eq. 1), choose integer duplication factors ``d_i >= 1``::
+
+    minimize    sum_i t_i / d_i
+    subject to  sum_i c_i * d_i <= F
+
+where ``F`` is the architecture's PE count.  Duplicating a layer ``d``
+times divides its work (input vectors) across ``d`` PE groups, reducing
+its latency to ``t_i / d_i`` (Sec. III-C).
+
+Three solvers are provided:
+
+``solve_greedy``
+    Marginal-gain-per-PE heuristic.  Each step buys the duplicate with
+    the largest latency reduction per extra PE; near-optimal in
+    practice (the objective has diminishing returns in each ``d_i``).
+``solve_dp``
+    Exact dynamic program over the extra-PE budget ``F - C_num``
+    (pseudo-polynomial; the paper's sweeps use x <= 32 extra PEs, where
+    it is instant).
+``continuous_lower_bound``
+    KKT water-filling solution of the real-valued relaxation — a lower
+    bound used to certify solver quality in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .tiling import LayerTiling
+
+
+class DuplicationError(ValueError):
+    """Raised for infeasible or malformed duplication problems."""
+
+
+@dataclass(frozen=True)
+class DuplicationProblem:
+    """One instance of Optimization Problem 1.
+
+    Attributes
+    ----------
+    layers:
+        Base layer names (defines the index order of ``t``/``c``).
+    t:
+        Intra-layer latency of each layer in cycles (``t_OFM,i``).
+    c:
+        PE cost of each layer (``c_i``).
+    budget:
+        Total available PEs ``F``.
+    d_max:
+        Per-layer duplication cap. Work is split along the OFM height
+        (Fig. 4 row cuts), so a layer cannot usefully exceed ``OH``
+        duplicates; callers may tighten this further.
+    """
+
+    layers: tuple[str, ...]
+    t: tuple[int, ...]
+    c: tuple[int, ...]
+    budget: int
+    d_max: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.layers)
+        if not (len(self.t) == len(self.c) == len(self.d_max) == n):
+            raise DuplicationError("layers, t, c and d_max must have equal length")
+        if n == 0:
+            raise DuplicationError("problem needs at least one layer")
+        if any(value <= 0 for value in self.t):
+            raise DuplicationError("latencies must be positive")
+        if any(value <= 0 for value in self.c):
+            raise DuplicationError("PE costs must be positive")
+        if any(value < 1 for value in self.d_max):
+            raise DuplicationError("d_max entries must be >= 1")
+        if self.base_cost > self.budget:
+            raise DuplicationError(
+                f"infeasible: storing all weights once needs {self.base_cost} PEs "
+                f"but the budget is {self.budget}"
+            )
+
+    @property
+    def base_cost(self) -> int:
+        """``C_num``: PEs with no duplication (all ``d_i = 1``)."""
+        return sum(self.c)
+
+    @property
+    def extra_budget(self) -> int:
+        """PEs available beyond the minimum (the paper's ``x``)."""
+        return self.budget - self.base_cost
+
+
+@dataclass
+class DuplicationSolution:
+    """Solution vector and bookkeeping for one solved problem."""
+
+    problem: DuplicationProblem
+    d: dict[str, int]
+    method: str
+    #: Objective value sum(t_i / d_i) in (fractional) cycles.
+    objective: float = field(init=False)
+    #: PEs consumed, sum(c_i * d_i).
+    pes_used: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        problem = self.problem
+        missing = [name for name in problem.layers if name not in self.d]
+        if missing:
+            raise DuplicationError(f"solution missing layers {missing}")
+        self.objective = sum(
+            t / self.d[name] for name, t in zip(problem.layers, problem.t)
+        )
+        self.pes_used = sum(
+            c * self.d[name] for name, c in zip(problem.layers, problem.c)
+        )
+        if self.pes_used > problem.budget:
+            raise DuplicationError(
+                f"solution uses {self.pes_used} PEs, budget is {problem.budget}"
+            )
+
+    @property
+    def duplicated_layers(self) -> list[str]:
+        """Layers with ``d_i > 1``, in problem order."""
+        return [name for name in self.problem.layers if self.d[name] > 1]
+
+    def speedup_layer_by_layer(self) -> float:
+        """Layer-by-layer speedup of this mapping vs no duplication."""
+        baseline = sum(self.problem.t)
+        return baseline / self.objective
+
+
+def problem_from_tilings(
+    tilings: dict[str, LayerTiling],
+    budget: int,
+    d_max_cap: Optional[int] = None,
+    axis: str = "width",
+) -> DuplicationProblem:
+    """Build Optimization Problem 1 from per-layer tilings.
+
+    ``d_max`` defaults to each layer's OFM extent along the planned cut
+    ``axis`` (a slab must be at least one column/row wide, Fig. 4),
+    optionally capped by ``d_max_cap``.
+    """
+    if axis not in ("width", "height"):
+        raise DuplicationError(f"axis must be 'width' or 'height', got {axis!r}")
+    layers = tuple(tilings)
+    t = tuple(t.latency_cycles for t in tilings.values())
+    c = tuple(t.num_pes for t in tilings.values())
+    caps = []
+    for tiling in tilings.values():
+        shape = tiling.lowering.ofm_shape
+        cap = shape.width if axis == "width" else shape.height
+        if d_max_cap is not None:
+            cap = min(cap, d_max_cap)
+        caps.append(max(1, cap))
+    return DuplicationProblem(layers=layers, t=t, c=c, budget=budget, d_max=tuple(caps))
+
+
+def solve_greedy(problem: DuplicationProblem) -> DuplicationSolution:
+    """Marginal-gain-per-PE greedy solver.
+
+    Buying duplicate ``d -> d+1`` of layer ``i`` reduces the objective
+    by ``t_i / (d * (d+1))`` at a price of ``c_i`` PEs; each step takes
+    the affordable purchase with the best reduction-per-PE ratio.
+    """
+    d = [1] * len(problem.layers)
+    remaining = problem.extra_budget
+
+    def gain(i: int, current: int) -> float:
+        return problem.t[i] / (current * (current + 1))
+
+    # Max-heap of (-gain/cost, index, d_at_push). Stale entries are
+    # re-validated on pop.
+    heap = [
+        (-gain(i, 1) / problem.c[i], i, 1)
+        for i in range(len(problem.layers))
+        if problem.d_max[i] > 1 and problem.c[i] <= remaining
+    ]
+    heapq.heapify(heap)
+    while heap:
+        neg_ratio, i, at = heapq.heappop(heap)
+        if at != d[i]:
+            continue  # stale
+        if problem.c[i] > remaining or d[i] >= problem.d_max[i]:
+            continue
+        d[i] += 1
+        remaining -= problem.c[i]
+        if d[i] < problem.d_max[i] and problem.c[i] <= remaining:
+            heapq.heappush(heap, (-gain(i, d[i]) / problem.c[i], i, d[i]))
+    return DuplicationSolution(
+        problem=problem,
+        d=dict(zip(problem.layers, d)),
+        method="greedy",
+    )
+
+
+def solve_dp(problem: DuplicationProblem) -> DuplicationSolution:
+    """Exact dynamic program over the extra-PE budget.
+
+    State: ``dp[j]`` = minimum total latency achievable using at most
+    ``j`` extra PEs over the layers processed so far.  Per layer the
+    transition tries every duplicate count up to ``d_max``.  Runtime is
+    ``O(N * B * max_k)`` — instant for the paper's ``x <= 32`` sweeps.
+    """
+    extra = problem.extra_budget
+    n = len(problem.layers)
+    infinity = math.inf
+    dp = [0.0] * (extra + 1)
+    choices: list[list[int]] = []
+    for i in range(n):
+        new_dp = [infinity] * (extra + 1)
+        choice_row = [1] * (extra + 1)
+        t_i, c_i, cap = problem.t[i], problem.c[i], problem.d_max[i]
+        for j in range(extra + 1):
+            max_extra_copies = min(cap - 1, j // c_i)
+            for k in range(max_extra_copies + 1):
+                candidate = dp[j - k * c_i] + t_i / (k + 1)
+                if candidate < new_dp[j]:
+                    new_dp[j] = candidate
+                    choice_row[j] = k + 1
+        dp = new_dp
+        choices.append(choice_row)
+    # Reconstruct from the cheapest budget achieving the optimum.
+    best_j = min(range(extra + 1), key=lambda j: (dp[j], j))
+    d = [1] * n
+    j = best_j
+    for i in reversed(range(n)):
+        d[i] = choices[i][j]
+        j -= (d[i] - 1) * problem.c[i]
+    return DuplicationSolution(
+        problem=problem,
+        d=dict(zip(problem.layers, d)),
+        method="dp",
+    )
+
+
+def continuous_lower_bound(problem: DuplicationProblem) -> float:
+    """Objective lower bound from the real-valued relaxation.
+
+    KKT: unconstrained-by-integrality optimum has
+    ``d_i = clamp(sqrt(t_i / (lambda * c_i)), 1, d_max_i)`` with the
+    multiplier ``lambda >= 0`` chosen so the budget binds (or zero if
+    the caps already fit).  Solved by bisection on ``lambda``.
+    """
+
+    def spend(lam: float) -> float:
+        total = 0.0
+        for t_i, c_i, cap in zip(problem.t, problem.c, problem.d_max):
+            d_i = math.sqrt(t_i / (lam * c_i)) if lam > 0 else float(cap)
+            d_i = min(max(d_i, 1.0), float(cap))
+            total += c_i * d_i
+        return total
+
+    def objective(lam: float) -> float:
+        total = 0.0
+        for t_i, c_i, cap in zip(problem.t, problem.c, problem.d_max):
+            d_i = math.sqrt(t_i / (lam * c_i)) if lam > 0 else float(cap)
+            d_i = min(max(d_i, 1.0), float(cap))
+            total += t_i / d_i
+        return total
+
+    if spend(0.0) <= problem.budget:
+        return objective(0.0)
+    lo, hi = 0.0, 1.0
+    while spend(hi) > problem.budget:
+        hi *= 2.0
+        if hi > 1e18:  # pragma: no cover - defensive
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if spend(mid) > problem.budget:
+            lo = mid
+        else:
+            hi = mid
+    return objective(hi)
+
+
+def solve(problem: DuplicationProblem, method: str = "greedy") -> DuplicationSolution:
+    """Solve Optimization Problem 1 with the chosen method."""
+    if method == "greedy":
+        return solve_greedy(problem)
+    if method == "dp":
+        return solve_dp(problem)
+    raise DuplicationError(f"unknown method {method!r} (use 'greedy' or 'dp')")

@@ -1,0 +1,100 @@
+"""Kernel-matrix tiling onto crossbar PEs (Eq. 1 of the paper).
+
+The ``(KW*KH*KI) x KO`` kernel matrix of each base layer is subdivided
+into ``M x N`` submatrices statically mapped onto PEs::
+
+    c_i = ceil(KW*KH*KI / N) * ceil(KO / M)   (= P_V,i * P_H,i)
+
+``C_num = sum_i c_i`` is the minimum PE count to store the whole NN
+once — the "Min. # required PEs" column of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.pe import CrossbarSpec
+from ..ir.graph import Graph
+from .im2col import GemmLowering, lower_graph
+
+
+@dataclass(frozen=True)
+class LayerTiling:
+    """PE tiling of one base layer.
+
+    Attributes
+    ----------
+    lowering:
+        The layer's GEMM geometry.
+    pe_grid:
+        ``(P_V, P_H)`` submatrix grid of Eq. 1.
+    """
+
+    lowering: GemmLowering
+    pe_grid: tuple[int, int]
+
+    @property
+    def layer(self) -> str:
+        """Base layer node name."""
+        return self.lowering.layer
+
+    @property
+    def num_pes(self) -> int:
+        """PEs required by the layer (``c_i``)."""
+        return self.pe_grid[0] * self.pe_grid[1]
+
+    @property
+    def latency_cycles(self) -> int:
+        """Intra-layer latency ``t_OFM`` in cycles: OH*OW (Sec. III-B).
+
+        All PEs of the layer operate in parallel on each OFM vector, so
+        the PE count does not appear here — only the OFM spatial size.
+        """
+        return self.lowering.num_mvms
+
+    def utilization_share(self) -> int:
+        """Active PE-cycles the layer contributes (``c_i * t_i``)."""
+        return self.num_pes * self.latency_cycles
+
+
+def tile_layer(lowering: GemmLowering, crossbar: CrossbarSpec) -> LayerTiling:
+    """Tile one lowered layer onto ``M x N`` PEs."""
+    grid = crossbar.grid_for_kernel_matrix(lowering.kernel_rows, lowering.kernel_cols)
+    return LayerTiling(lowering=lowering, pe_grid=grid)
+
+
+def tile_graph(graph: Graph, crossbar: CrossbarSpec) -> dict[str, LayerTiling]:
+    """Tilings of every base layer, keyed by layer name."""
+    return {
+        name: tile_layer(lowering, crossbar)
+        for name, lowering in lower_graph(graph).items()
+    }
+
+
+def minimum_pe_requirement(graph: Graph, crossbar: CrossbarSpec) -> int:
+    """``C_num``: PEs needed to store the whole network once (Table II)."""
+    return sum(t.num_pes for t in tile_graph(graph, crossbar).values())
+
+
+def layer_table(graph: Graph, crossbar: CrossbarSpec) -> list[dict]:
+    """Per-layer rows in the style of the paper's Table I.
+
+    Each row carries: layer name, IFM shape (the direct — already
+    padded — input of the base layer), OFM shape, #PE, and the
+    intra-layer latency ``t_init`` in cycles.
+    """
+    shapes = graph.infer_shapes()
+    rows = []
+    for name, tiling in tile_graph(graph, crossbar).items():
+        op = graph[name]
+        ifm = shapes[op.inputs[0]] if op.inputs else None
+        rows.append(
+            {
+                "layer": name,
+                "ifm": ifm.hwc if ifm is not None else None,
+                "ofm": shapes[name].hwc,
+                "num_pes": tiling.num_pes,
+                "cycles": tiling.latency_cycles,
+            }
+        )
+    return rows

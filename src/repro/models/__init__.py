@@ -1,0 +1,48 @@
+"""Model zoo: the paper's benchmarks plus synthetic test models."""
+
+from .darknet import (
+    DarknetError,
+    build_graph as build_darknet_graph,
+    load_cfg,
+    parse_cfg,
+    tiny_yolo_v3_from_cfg,
+    tiny_yolo_v4_from_cfg,
+)
+from .resnet import resnet50, resnet101, resnet152
+from .synthetic import tiny_csp, tiny_dual_head, tiny_residual, tiny_sequential
+from .tinyyolo import tiny_yolo_v3, tiny_yolo_v4
+from .vgg import vgg16, vgg19
+from .zoo import (
+    CASE_STUDY,
+    MODELS,
+    PAPER_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_by_name,
+    build,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "CASE_STUDY",
+    "DarknetError",
+    "MODELS",
+    "PAPER_BENCHMARKS",
+    "benchmark_by_name",
+    "build",
+    "build_darknet_graph",
+    "load_cfg",
+    "parse_cfg",
+    "resnet101",
+    "resnet152",
+    "resnet50",
+    "tiny_csp",
+    "tiny_dual_head",
+    "tiny_residual",
+    "tiny_sequential",
+    "tiny_yolo_v3",
+    "tiny_yolo_v3_from_cfg",
+    "tiny_yolo_v4",
+    "tiny_yolo_v4_from_cfg",
+    "vgg16",
+    "vgg19",
+]

@@ -1,0 +1,28 @@
+"""Shared helpers for the model zoo.
+
+All zoo models are *geometry-faithful*: layer kinds, kernel shapes,
+strides, channel counts and graph topology match the published
+architectures, while numeric weights are synthetic (seeded) because
+scheduling results depend only on geometry (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+
+
+def validate_input_shape(shape: tuple[int, int, int], name: str) -> tuple[int, int, int]:
+    """Sanity-check an (H, W, C) model input shape."""
+    if len(shape) != 3:
+        raise ValueError(f"{name}: input shape must be (H, W, C), got {shape!r}")
+    if any(int(dim) < 1 for dim in shape):
+        raise ValueError(f"{name}: input dimensions must be positive, got {shape!r}")
+    return (int(shape[0]), int(shape[1]), int(shape[2]))
+
+
+def finish(builder: GraphBuilder) -> Graph:
+    """Validate and return a finished zoo graph."""
+    graph = builder.graph
+    graph.topological_order()  # raises on wiring mistakes
+    return graph

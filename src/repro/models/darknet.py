@@ -1,0 +1,213 @@
+"""Darknet ``.cfg`` importer.
+
+The TinyYOLO family is distributed as darknet configuration files; the
+paper's TensorFlow models are conversions of those.  This module parses
+the ``.cfg`` format directly into the IR, supporting every section the
+tiny models use:
+
+* ``[net]`` — input geometry;
+* ``[convolutional]`` — conv (+ optional BN + activation);
+* ``[maxpool]`` — max pooling;
+* ``[route]`` — skip connections: concat of earlier layers, or a
+  channel group slice (``groups``/``group_id``, the CSP split);
+* ``[upsample]`` — nearest-neighbour upsampling;
+* ``[yolo]`` — detection decode; modeled as an Identity passthrough
+  (it runs on the host, not the accelerator).
+
+Padding note: darknet's ``pad=1`` pads ``size // 2`` on *both* sides;
+TensorFlow's SAME pads asymmetrically.  Output shapes are identical for
+the strides used here, and the paper's Table I reports the TF
+conversion's shapes (padded IFM ``(417, 417, 3)``), so this importer
+maps ``pad=1`` to ``padding='same'`` — parsed models are geometrically
+identical to the hand-built zoo models (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import resources
+from typing import Optional
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+
+
+class DarknetError(ValueError):
+    """Raised for malformed or unsupported .cfg content."""
+
+
+@dataclass
+class CfgSection:
+    """One ``[name]`` section with its key=value options."""
+
+    name: str
+    options: dict[str, str] = field(default_factory=dict)
+
+    def get_int(self, key: str, default: Optional[int] = None) -> int:
+        if key not in self.options:
+            if default is None:
+                raise DarknetError(f"[{self.name}] missing required key '{key}'")
+            return default
+        return int(self.options[key])
+
+    def get_str(self, key: str, default: str = "") -> str:
+        return self.options.get(key, default)
+
+    def get_int_list(self, key: str) -> list[int]:
+        raw = self.options.get(key, "")
+        if not raw:
+            raise DarknetError(f"[{self.name}] missing required key '{key}'")
+        return [int(part.strip()) for part in raw.split(",") if part.strip()]
+
+
+def parse_cfg(text: str) -> list[CfgSection]:
+    """Parse .cfg text into an ordered section list."""
+    sections: list[CfgSection] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#")[0].split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            sections.append(CfgSection(name=line[1:-1].strip().lower()))
+            continue
+        if "=" not in line:
+            raise DarknetError(f"cannot parse cfg line: {raw_line!r}")
+        if not sections:
+            raise DarknetError("cfg options found before any [section]")
+        key, _, value = line.partition("=")
+        sections[-1].options[key.strip()] = value.strip()
+    if not sections:
+        raise DarknetError("empty cfg")
+    if sections[0].name != "net":
+        raise DarknetError(f"cfg must start with [net], got [{sections[0].name}]")
+    return sections
+
+
+#: Darknet activation name -> (IR activation kind or None for linear).
+_ACTIVATIONS = {
+    "leaky": "leaky_relu",
+    "relu": "relu",
+    "linear": None,
+    "logistic": "sigmoid",
+}
+
+
+def build_graph(sections: list[CfgSection], name: str = "darknet") -> Graph:
+    """Build an IR graph from parsed cfg sections."""
+    net = sections[0]
+    height = net.get_int("height")
+    width = net.get_int("width")
+    channels = net.get_int("channels")
+    b = GraphBuilder(name)
+    x = b.input((height, width, channels), name="input")
+
+    #: Per darknet layer index, the IR node holding that layer's output.
+    outputs: list[str] = []
+
+    def resolve(index: int, current: int) -> str:
+        absolute = index if index >= 0 else current + index
+        if not 0 <= absolute < len(outputs):
+            raise DarknetError(
+                f"route references layer {index} (resolved {absolute}) "
+                f"but only {len(outputs)} layers exist"
+            )
+        return outputs[absolute]
+
+    for section in sections[1:]:
+        current = len(outputs)
+        if section.name == "convolutional":
+            size = section.get_int("size", 1)
+            stride = section.get_int("stride", 1)
+            pad = section.get_int("pad", 0)
+            filters = section.get_int("filters")
+            use_bn = section.get_int("batch_normalize", 0) == 1
+            activation = section.get_str("activation", "linear")
+            if activation not in _ACTIVATIONS:
+                raise DarknetError(f"unsupported activation '{activation}'")
+            if pad not in (0, 1):
+                raise DarknetError(f"unsupported pad value {pad}")
+            padding = "same" if pad == 1 else "valid"
+            # darknet layers implicitly consume the previous layer's
+            # output (the graph input for the first layer)
+            producer = outputs[-1] if outputs else x
+            node = b.conv2d(
+                producer,
+                filters,
+                kernel=size,
+                strides=stride,
+                padding=padding,
+                use_bias=not use_bn,
+            )
+            if use_bn:
+                node = b.batch_norm(node)
+            kind = _ACTIVATIONS[activation]
+            if kind is not None:
+                node = b.activation(node, kind, alpha=0.1)
+            outputs.append(node)
+        elif section.name == "maxpool":
+            size = section.get_int("size", 2)
+            stride = section.get_int("stride", size)
+            producer = outputs[-1] if outputs else x
+            outputs.append(b.maxpool(producer, size, strides=stride, padding="same"))
+        elif section.name == "upsample":
+            factor = section.get_int("stride", 2)
+            producer = outputs[-1] if outputs else x
+            outputs.append(b.upsample(producer, factor))
+        elif section.name == "route":
+            indices = section.get_int_list("layers")
+            groups = section.get_int("groups", 1)
+            if groups > 1:
+                if len(indices) != 1:
+                    raise DarknetError("grouped route must reference one layer")
+                group_id = section.get_int("group_id", 0)
+                if not 0 <= group_id < groups:
+                    raise DarknetError(
+                        f"group_id {group_id} out of range for groups={groups}"
+                    )
+                source = resolve(indices[0], current)
+                source_channels = b.graph.shape_of(source).channels
+                if source_channels % groups != 0:
+                    raise DarknetError(
+                        f"cannot split {source_channels} channels into "
+                        f"{groups} groups"
+                    )
+                group_size = source_channels // groups
+                outputs.append(
+                    b.channel_slice(source, group_id * group_size, group_size)
+                )
+            elif len(indices) == 1:
+                # single-layer route: an alias of an earlier output
+                outputs.append(b.identity(resolve(indices[0], current)))
+            else:
+                sources = [resolve(i, current) for i in indices]
+                outputs.append(b.concat(sources))
+        elif section.name == "yolo":
+            # detection decode runs on the host; passthrough for indexing
+            producer = outputs[-1] if outputs else x
+            outputs.append(b.identity(producer))
+        else:
+            raise DarknetError(f"unsupported section [{section.name}]")
+
+    return b.graph
+
+
+def load_cfg(text: str, name: str = "darknet") -> Graph:
+    """Parse cfg text and build the IR graph."""
+    return build_graph(parse_cfg(text), name=name)
+
+
+def _packaged_cfg(filename: str) -> str:
+    return (
+        resources.files("repro.models").joinpath("cfgs").joinpath(filename)
+        .read_text(encoding="utf-8")
+    )
+
+
+def tiny_yolo_v3_from_cfg() -> Graph:
+    """TinyYOLOv3 parsed from the packaged darknet cfg."""
+    return load_cfg(_packaged_cfg("yolov3-tiny.cfg"), name="tinyyolov3-cfg")
+
+
+def tiny_yolo_v4_from_cfg() -> Graph:
+    """TinyYOLOv4 parsed from the packaged darknet cfg."""
+    return load_cfg(_packaged_cfg("yolov4-tiny.cfg"), name="tinyyolov4-cfg")

@@ -1,0 +1,103 @@
+"""ResNet-50/101/152 (He et al., 2015), bottleneck variants.
+
+Base-layer counts match Table II: 53 / 104 / 155 convolutions
+(1 stem + 3 per bottleneck block + 4 projection shortcuts), and the
+256x256-crossbar PE minima reproduce exactly: 390 / 679 / 936.
+The classifier head (GlobalAvgPool + Dense) is omitted by default so
+the base-layer count matches the paper's; pass ``include_top=True``
+for the full ImageNet classifier.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import finish, validate_input_shape
+
+#: Bottleneck blocks per stage for each variant.
+_RESNET_STAGES = {
+    "resnet50": (3, 4, 6, 3),
+    "resnet101": (3, 4, 23, 3),
+    "resnet152": (3, 8, 36, 3),
+}
+
+#: Bottleneck "planes" (the 1x1/3x3 width) per stage.
+_STAGE_PLANES = (64, 128, 256, 512)
+
+#: Bottleneck expansion: output channels = 4 * planes.
+_EXPANSION = 4
+
+
+def _bottleneck(b: GraphBuilder, x: str, planes: int, stride: int, project: bool) -> str:
+    """One bottleneck residual block: 1x1 -> 3x3 -> 1x1 + shortcut."""
+    shortcut = x
+    if project:
+        shortcut = b.conv2d(
+            x, planes * _EXPANSION, kernel=1, strides=stride, padding="same",
+            use_bias=False,
+        )
+        shortcut = b.batch_norm(shortcut)
+    out = b.conv2d(x, planes, kernel=1, strides=stride, padding="same", use_bias=False)
+    out = b.batch_norm(out)
+    out = b.relu(out)
+    out = b.conv2d(out, planes, kernel=3, strides=1, padding="same", use_bias=False)
+    out = b.batch_norm(out)
+    out = b.relu(out)
+    out = b.conv2d(out, planes * _EXPANSION, kernel=1, strides=1, padding="same",
+                   use_bias=False)
+    out = b.batch_norm(out)
+    out = b.add([out, shortcut])
+    return b.relu(out)
+
+
+def _resnet(
+    variant: str,
+    input_shape: tuple[int, int, int],
+    include_top: bool,
+    num_classes: int,
+) -> Graph:
+    stages = _RESNET_STAGES[variant]
+    b = GraphBuilder(variant)
+    x = b.input(validate_input_shape(input_shape, variant), name="input")
+    # Stem: 7x7/2 conv + 3x3/2 max pool.
+    x = b.conv2d(x, 64, kernel=7, strides=2, padding="same", use_bias=False)
+    x = b.batch_norm(x)
+    x = b.relu(x)
+    x = b.maxpool(x, 3, strides=2, padding="same")
+    for stage_index, (num_blocks, planes) in enumerate(zip(stages, _STAGE_PLANES)):
+        for block_index in range(num_blocks):
+            first = block_index == 0
+            stride = 2 if (first and stage_index > 0) else 1
+            x = _bottleneck(b, x, planes, stride=stride, project=first)
+    if include_top:
+        x = b.global_avgpool(x)
+        x = b.flatten(x)
+        b.dense(x, num_classes, use_bias=True)
+    return finish(b)
+
+
+def resnet50(
+    input_shape: tuple[int, int, int] = (224, 224, 3),
+    include_top: bool = False,
+    num_classes: int = 1000,
+) -> Graph:
+    """ResNet-50: 53 conv base layers; 390 min PEs (Table II)."""
+    return _resnet("resnet50", input_shape, include_top, num_classes)
+
+
+def resnet101(
+    input_shape: tuple[int, int, int] = (224, 224, 3),
+    include_top: bool = False,
+    num_classes: int = 1000,
+) -> Graph:
+    """ResNet-101: 104 conv base layers; 679 min PEs (Table II)."""
+    return _resnet("resnet101", input_shape, include_top, num_classes)
+
+
+def resnet152(
+    input_shape: tuple[int, int, int] = (224, 224, 3),
+    include_top: bool = False,
+    num_classes: int = 1000,
+) -> Graph:
+    """ResNet-152: 155 conv base layers; 936 min PEs (Table II)."""
+    return _resnet("resnet152", input_shape, include_top, num_classes)

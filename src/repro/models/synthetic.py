@@ -1,0 +1,76 @@
+"""Small synthetic models for tests, examples and micro-benchmarks.
+
+These networks are structurally representative (sequential chains,
+residual branches, CSP-style splits, dual heads) but small enough that
+full schedules and functional executions run in milliseconds.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import finish, validate_input_shape
+
+
+def tiny_sequential(
+    input_shape: tuple[int, int, int] = (32, 32, 3), width: int = 16
+) -> Graph:
+    """Three conv stages with pooling — the smallest realistic pipeline."""
+    b = GraphBuilder("tiny_sequential")
+    x = b.input(validate_input_shape(input_shape, "tiny_sequential"), name="input")
+    x = b.conv_bn_act(x, width, kernel=3, strides=1, activation="relu")
+    x = b.maxpool(x, 2)
+    x = b.conv_bn_act(x, width * 2, kernel=3, strides=1, activation="relu")
+    x = b.maxpool(x, 2)
+    b.conv_bn_act(x, width * 4, kernel=3, strides=1, activation="relu")
+    return finish(b)
+
+
+def tiny_residual(
+    input_shape: tuple[int, int, int] = (32, 32, 8), width: int = 8
+) -> Graph:
+    """One residual block with a projection shortcut (ResNet-style)."""
+    b = GraphBuilder("tiny_residual")
+    x = b.input(validate_input_shape(input_shape, "tiny_residual"), name="input")
+    shortcut = b.conv2d(x, width * 2, kernel=1, strides=2, padding="same",
+                        use_bias=True)
+    out = b.conv2d(x, width, kernel=3, strides=2, padding="same", use_bias=True)
+    out = b.relu(out)
+    out = b.conv2d(out, width * 2, kernel=3, strides=1, padding="same", use_bias=True)
+    out = b.add([out, shortcut])
+    b.relu(out)
+    return finish(b)
+
+
+def tiny_csp(input_shape: tuple[int, int, int] = (32, 32, 8)) -> Graph:
+    """A CSP-style channel-split block (TinyYOLOv4 backbone motif)."""
+    b = GraphBuilder("tiny_csp")
+    x = b.input(validate_input_shape(input_shape, "tiny_csp"), name="input")
+    x = b.conv_bn_act(x, 16, kernel=3, activation="leaky_relu")
+    group = b.channel_slice(x, 8, 8)
+    inner1 = b.conv_bn_act(group, 8, kernel=3, activation="leaky_relu")
+    inner2 = b.conv_bn_act(inner1, 8, kernel=3, activation="leaky_relu")
+    merged = b.concat([inner2, inner1])
+    route = b.conv_bn_act(merged, 16, kernel=1, activation="leaky_relu")
+    out = b.concat([x, route])
+    b.maxpool(out, 2)
+    return finish(b)
+
+
+def tiny_dual_head(input_shape: tuple[int, int, int] = (64, 64, 3)) -> Graph:
+    """A two-headed detector-style net with an upsampling FPN path."""
+    b = GraphBuilder("tiny_dual_head")
+    x = b.input(validate_input_shape(input_shape, "tiny_dual_head"), name="input")
+    x = b.conv_bn_act(x, 8, kernel=3, strides=2, activation="leaky_relu")
+    route = b.conv_bn_act(x, 16, kernel=3, strides=1, activation="leaky_relu")
+    x = b.maxpool(route, 2)
+    neck = b.conv_bn_act(x, 16, kernel=3, strides=1, activation="leaky_relu")
+    # Head 1 (coarse).
+    b.conv2d(neck, 18, kernel=1, use_bias=True)
+    # Head 2 (fine) via upsample + concat.
+    y = b.conv_bn_act(neck, 8, kernel=1, activation="leaky_relu")
+    y = b.upsample(y, 2)
+    y = b.concat([y, route])
+    y = b.conv_bn_act(y, 16, kernel=3, activation="leaky_relu")
+    b.conv2d(y, 18, kernel=1, use_bias=True)
+    return finish(b)

@@ -1,0 +1,66 @@
+"""VGG16 / VGG19 (Simonyan & Zisserman, 2014).
+
+The paper's Table II counts only the convolutional layers as base
+layers (13 for VGG16, 16 for VGG19) and reports minimum PE requirements
+of 233 and 314 on 256x256 crossbars — both reproduced exactly by these
+definitions.  The fully connected head is therefore omitted by default
+(``include_top=False``); pass ``include_top=True`` for the 3-FC
+classifier variant.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import finish, validate_input_shape
+
+#: Convs per block for each variant.
+_VGG_BLOCKS = {
+    "vgg16": (2, 2, 3, 3, 3),
+    "vgg19": (2, 2, 4, 4, 4),
+}
+
+#: Output channels per block (both variants).
+_VGG_CHANNELS = (64, 128, 256, 512, 512)
+
+
+def _vgg(
+    variant: str,
+    input_shape: tuple[int, int, int],
+    include_top: bool,
+    num_classes: int,
+) -> Graph:
+    blocks = _VGG_BLOCKS[variant]
+    b = GraphBuilder(variant)
+    x = b.input(validate_input_shape(input_shape, variant), name="input")
+    for convs, channels in zip(blocks, _VGG_CHANNELS):
+        for _ in range(convs):
+            x = b.conv2d(x, channels, kernel=3, padding="same", use_bias=True)
+            x = b.relu(x)
+        x = b.maxpool(x, 2)
+    if include_top:
+        x = b.flatten(x)
+        x = b.dense(x, 4096, use_bias=True)
+        x = b.relu(x)
+        x = b.dense(x, 4096, use_bias=True)
+        x = b.relu(x)
+        b.dense(x, num_classes, use_bias=True)
+    return finish(b)
+
+
+def vgg16(
+    input_shape: tuple[int, int, int] = (224, 224, 3),
+    include_top: bool = False,
+    num_classes: int = 1000,
+) -> Graph:
+    """VGG16: 13 conv base layers; 233 min PEs at 256x256 (Table II)."""
+    return _vgg("vgg16", input_shape, include_top, num_classes)
+
+
+def vgg19(
+    input_shape: tuple[int, int, int] = (224, 224, 3),
+    include_top: bool = False,
+    num_classes: int = 1000,
+) -> Graph:
+    """VGG19: 16 conv base layers; 314 min PEs at 256x256 (Table II)."""
+    return _vgg("vgg19", input_shape, include_top, num_classes)

@@ -1,0 +1,78 @@
+"""Model registry and the paper's benchmark list (Table II).
+
+``PAPER_BENCHMARKS`` carries the expected structural numbers from the
+paper so tests and benchmarks can assert exact reproduction:
+base-layer counts and minimum 256x256-crossbar PE requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.graph import Graph
+from .resnet import resnet50, resnet101, resnet152
+from .synthetic import tiny_csp, tiny_dual_head, tiny_residual, tiny_sequential
+from .tinyyolo import tiny_yolo_v3, tiny_yolo_v4
+from .vgg import vgg16, vgg19
+
+#: All zoo constructors, keyed by canonical model name.
+MODELS: dict[str, Callable[[], Graph]] = {
+    "tinyyolov3": tiny_yolo_v3,
+    "tinyyolov4": tiny_yolo_v4,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "tiny_sequential": tiny_sequential,
+    "tiny_residual": tiny_residual,
+    "tiny_csp": tiny_csp,
+    "tiny_dual_head": tiny_dual_head,
+}
+
+
+def build(name: str) -> Graph:
+    """Instantiate a zoo model by name."""
+    if name not in MODELS:
+        raise KeyError(f"unknown model '{name}'; available: {sorted(MODELS)}")
+    return MODELS[name]()
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of the paper's Table II (plus the Table I case study)."""
+
+    name: str
+    input_shape: tuple[int, int, int]
+    #: Expected base-layer (conv) count from Table I/II.
+    base_layers: int
+    #: Expected minimum 256x256 PE requirement from Table I/II.
+    min_pes: int
+
+    def build(self) -> Graph:
+        """Instantiate the model."""
+        return build(self.name)
+
+
+#: Table II rows, in the paper's order, plus the TinyYOLOv4 case study
+#: (Table I / Sec. V-A: 21 named convs, 117 minimum PEs).
+PAPER_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec("tinyyolov3", (416, 416, 3), base_layers=13, min_pes=142),
+    BenchmarkSpec("vgg16", (224, 224, 3), base_layers=13, min_pes=233),
+    BenchmarkSpec("vgg19", (224, 224, 3), base_layers=16, min_pes=314),
+    BenchmarkSpec("resnet50", (224, 224, 3), base_layers=53, min_pes=390),
+    BenchmarkSpec("resnet101", (224, 224, 3), base_layers=104, min_pes=679),
+    BenchmarkSpec("resnet152", (224, 224, 3), base_layers=155, min_pes=936),
+)
+
+#: The Section V-A case-study model (Table I).
+CASE_STUDY = BenchmarkSpec("tinyyolov4", (416, 416, 3), base_layers=21, min_pes=117)
+
+
+def benchmark_by_name(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec (Table II rows or the case study)."""
+    for spec in PAPER_BENCHMARKS + (CASE_STUDY,):
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no paper benchmark named '{name}'")

@@ -1,0 +1,50 @@
+"""System-level simulator: metrics (Eqs. 2-3), engine, costs, traces."""
+
+from .buffers import BufferReport, TileBufferStats, analyze_buffers
+from .energy import EnergyModelConfig, EnergyReport, estimate_energy
+from .engine import SimulationResult, simulate
+from .metrics import (
+    Metrics,
+    active_pe_cycles,
+    evaluate,
+    speedup_eq3,
+    utilization,
+)
+from .noc_cost import CostModelConfig, NocCostModel, ZeroCostModel
+from .trace import (
+    ActivityRecord,
+    PeActivity,
+    activity_records,
+    ascii_gantt,
+    per_pe_records,
+    schedule_to_json,
+    to_csv_rows,
+    utilization_timeline,
+)
+
+__all__ = [
+    "ActivityRecord",
+    "BufferReport",
+    "CostModelConfig",
+    "EnergyModelConfig",
+    "EnergyReport",
+    "Metrics",
+    "NocCostModel",
+    "PeActivity",
+    "SimulationResult",
+    "TileBufferStats",
+    "ZeroCostModel",
+    "active_pe_cycles",
+    "activity_records",
+    "analyze_buffers",
+    "ascii_gantt",
+    "estimate_energy",
+    "evaluate",
+    "per_pe_records",
+    "schedule_to_json",
+    "simulate",
+    "speedup_eq3",
+    "to_csv_rows",
+    "utilization",
+    "utilization_timeline",
+]

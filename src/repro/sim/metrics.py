@@ -1,0 +1,114 @@
+"""Utilization and speedup metrics (Eqs. 2 and 3 of the paper).
+
+Utilization (Eq. 2) is the mean over all PEs of the ratio of that PE's
+active cycles to the total inference time::
+
+    Ut := (1 / #PE) * sum_p (t_p,active / t_NN)
+
+Every PE of a base layer is active exactly while the layer computes a
+set (intra-layer scheduling keeps all of a layer's PEs busy per MVM),
+so a layer's ``c_i`` PEs each accumulate the layer's busy cycles.  PEs
+not owned by any layer (unused budget) contribute zero.
+
+Speedup (Eq. 3) relates two configurations through their utilizations::
+
+    S_x,c ~= (Ut_x,c * (PE_min + x)) / (Ut_lbl * PE_min)
+
+Under the paper's latency model, total active PE-cycles are invariant
+across mapping/scheduling choices (duplication splits work, it does not
+add any), which makes Eq. 3 exact — a property the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.pipeline import CompiledModel
+from ..core.schedule import Schedule
+from ..mapping.placement import Placement
+
+
+@dataclass
+class Metrics:
+    """Evaluation metrics of one compiled configuration.
+
+    Attributes
+    ----------
+    config_name:
+        The paper's configuration name (``wdup``, ``xinf``...).
+    latency_cycles / latency_ns:
+        Inference latency (schedule makespan).
+    num_pes:
+        Total PEs of the architecture (the ``#PE`` of Eq. 2).
+    total_active_pe_cycles:
+        ``sum_p t_p,active``; invariant across configurations.
+    utilization:
+        Eq. 2 value in [0, 1].
+    per_layer_busy:
+        Busy cycles per (mapped) base layer.
+    """
+
+    config_name: str
+    latency_cycles: int
+    latency_ns: float
+    num_pes: int
+    total_active_pe_cycles: int
+    utilization: float
+    per_layer_busy: dict[str, int] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "Metrics") -> float:
+        """Measured speedup: baseline latency / this latency."""
+        if self.latency_cycles == 0:
+            raise ZeroDivisionError("latency is zero; empty schedule?")
+        return baseline.latency_cycles / self.latency_cycles
+
+    def utilization_gain_over(self, baseline: "Metrics") -> float:
+        """Utilization improvement factor (the paper's 'up to 17.9x')."""
+        if baseline.utilization == 0:
+            raise ZeroDivisionError("baseline utilization is zero")
+        return self.utilization / baseline.utilization
+
+
+def active_pe_cycles(schedule: Schedule, placement: Placement) -> dict[str, int]:
+    """Active PE-cycles per layer: ``c_i * busy_i``."""
+    busy = schedule.busy_cycles()
+    return {
+        layer: placement.tilings[layer].num_pes * cycles
+        for layer, cycles in busy.items()
+    }
+
+
+def utilization(schedule: Schedule, placement: Placement) -> float:
+    """Eq. 2: mean PE activity over the inference duration."""
+    makespan = schedule.makespan
+    if makespan == 0:
+        return 0.0
+    total_active = sum(active_pe_cycles(schedule, placement).values())
+    return total_active / (placement.arch.num_pes * makespan)
+
+
+def evaluate(compiled: CompiledModel) -> Metrics:
+    """Compute the full metrics of one compiled configuration."""
+    total_active = sum(active_pe_cycles(compiled.schedule, compiled.placement).values())
+    return Metrics(
+        config_name=compiled.options.paper_name,
+        latency_cycles=compiled.latency_cycles,
+        latency_ns=compiled.latency_ns,
+        num_pes=compiled.arch.num_pes,
+        total_active_pe_cycles=total_active,
+        utilization=utilization(compiled.schedule, compiled.placement),
+        per_layer_busy=compiled.schedule.busy_cycles(),
+    )
+
+
+def speedup_eq3(metrics: Metrics, baseline: Metrics) -> float:
+    """Speedup predicted by Eq. 3 from utilizations and PE counts.
+
+    Exact whenever total active PE-cycles are conserved between the two
+    configurations (always true under the paper's latency model).
+    """
+    numerator = metrics.utilization * metrics.num_pes
+    denominator = baseline.utilization * baseline.num_pes
+    if denominator == 0:
+        raise ZeroDivisionError("baseline utilization * PEs is zero")
+    return numerator / denominator

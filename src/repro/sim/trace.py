@@ -1,0 +1,173 @@
+"""Execution traces and Gantt-style exports (Fig. 6a/6b of the paper).
+
+Figures 6(a) and 6(b) visualize PE activity over time for the
+layer-by-layer and CLSA-CIM schedules.  This module converts schedules
+into per-layer activity records, per-PE records, CSV rows, JSON, and a
+terminal-friendly ASCII Gantt chart that the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.pipeline import CompiledModel
+from ..core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """One contiguous busy interval of one layer (all its PEs)."""
+
+    layer: str
+    origin: str
+    num_pes: int
+    start: int
+    end: int
+
+
+def activity_records(compiled: CompiledModel) -> list[ActivityRecord]:
+    """Merge each layer's back-to-back tasks into busy intervals."""
+    records = []
+    for layer in compiled.schedule.layers():
+        tasks = sorted(compiled.schedule.tasks_of(layer), key=lambda t: t.start)
+        num_pes = compiled.placement.tilings[layer].num_pes
+        origin = compiled.origin_of_layer(layer)
+        current_start, current_end = tasks[0].start, tasks[0].end
+        for task in tasks[1:]:
+            if task.start == current_end:
+                current_end = task.end
+            else:
+                records.append(
+                    ActivityRecord(layer, origin, num_pes, current_start, current_end)
+                )
+                current_start, current_end = task.start, task.end
+        records.append(ActivityRecord(layer, origin, num_pes, current_start, current_end))
+    return records
+
+
+def to_csv_rows(compiled: CompiledModel) -> list[str]:
+    """CSV lines (with header): layer, origin, num_pes, start, end."""
+    lines = ["layer,origin,num_pes,start_cycles,end_cycles"]
+    for record in activity_records(compiled):
+        lines.append(
+            f"{record.layer},{record.origin},{record.num_pes},"
+            f"{record.start},{record.end}"
+        )
+    return lines
+
+
+def ascii_gantt(compiled: CompiledModel, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per mapped base layer.
+
+    ``#`` marks busy time, ``.`` idle time within the schedule span —
+    the textual analogue of Fig. 6(a)/(b).
+    """
+    schedule: Schedule = compiled.schedule
+    makespan = schedule.makespan
+    if makespan == 0:
+        return "(empty schedule)"
+    lines = [
+        f"{compiled.mapped.name} | {compiled.options.paper_name} | "
+        f"{makespan} cycles | {compiled.arch.num_pes} PEs"
+    ]
+    scale = width / makespan
+    for layer in schedule.layers():
+        cells = ["."] * width
+        for task in schedule.tasks_of(layer):
+            lo = int(task.start * scale)
+            hi = max(lo + 1, int(task.end * scale))
+            for i in range(lo, min(hi, width)):
+                cells[i] = "#"
+        num_pes = compiled.placement.tilings[layer].num_pes
+        lines.append(f"{layer[:28]:<28} {num_pes:>3} PE |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def schedule_to_json(compiled: CompiledModel, indent: int | None = None) -> str:
+    """Serialize a schedule for external tooling (e.g. trace viewers).
+
+    The format is one task object per scheduled set, plus metadata
+    identifying the model, configuration and architecture.
+    """
+    payload = {
+        "model": compiled.mapped.name,
+        "configuration": compiled.options.paper_name,
+        "policy": compiled.schedule.policy,
+        "num_pes": compiled.arch.num_pes,
+        "t_mvm_ns": compiled.arch.t_mvm_ns,
+        "makespan_cycles": compiled.schedule.makespan,
+        "tasks": [
+            {
+                "layer": task.layer,
+                "origin": compiled.origin_of_layer(task.layer),
+                "set_index": task.set_index,
+                "image": task.image,
+                "rect": [task.rect.r0, task.rect.c0, task.rect.r1, task.rect.c1],
+                "start": task.start,
+                "end": task.end,
+                "num_pes": compiled.placement.tilings[task.layer].num_pes,
+            }
+            for task in sorted(compiled.schedule.tasks, key=lambda t: t.start)
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+@dataclass(frozen=True)
+class PeActivity:
+    """Busy intervals of one physical PE."""
+
+    pe: int
+    tile: int
+    layer: str | None
+    intervals: tuple[tuple[int, int], ...]
+
+    @property
+    def busy_cycles(self) -> int:
+        return sum(end - start for start, end in self.intervals)
+
+
+def per_pe_records(compiled: CompiledModel) -> list[PeActivity]:
+    """Activity of every physical PE (the y-axis of Fig. 6a/6b).
+
+    All PEs of a layer share its timeline (intra-layer scheduling keeps
+    them in lockstep per MVM); unassigned PEs appear with ``layer=None``
+    and no intervals, making idle silicon visible.
+    """
+    placement = compiled.placement
+    per_layer_intervals: dict[str, tuple[tuple[int, int], ...]] = {}
+    for record in activity_records(compiled):
+        per_layer_intervals.setdefault(record.layer, ())
+        per_layer_intervals[record.layer] += ((record.start, record.end),)
+    pes_per_tile = placement.arch.tile.pes_per_tile
+    records = []
+    for pe in range(placement.arch.num_pes):
+        layer = placement.layer_of_pe(pe)
+        intervals = per_layer_intervals.get(layer, ()) if layer else ()
+        records.append(
+            PeActivity(pe=pe, tile=pe // pes_per_tile, layer=layer,
+                       intervals=intervals)
+        )
+    return records
+
+
+def utilization_timeline(compiled: CompiledModel, buckets: int = 50) -> list[float]:
+    """Fraction of PEs active per time bucket (utilization over time)."""
+    makespan = compiled.schedule.makespan
+    if makespan == 0:
+        return []
+    total_pes = compiled.arch.num_pes
+    bucket_cycles = makespan / buckets
+    active = [0.0] * buckets
+    for task in compiled.schedule.tasks:
+        num_pes = compiled.placement.tilings[task.layer].num_pes
+        first = int(task.start / bucket_cycles)
+        last = min(int((task.end - 1e-9) / bucket_cycles), buckets - 1)
+        for bucket in range(first, last + 1):
+            bucket_start = bucket * bucket_cycles
+            bucket_end = bucket_start + bucket_cycles
+            overlap = min(task.end, bucket_end) - max(task.start, bucket_start)
+            if overlap > 0:
+                active[bucket] += num_pes * overlap
+    return [a / (total_pes * bucket_cycles) for a in active]

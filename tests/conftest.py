@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+Disables the hypothesis per-example deadline: several property tests
+verify O(n^2) geometric invariants (e.g. pairwise disjointness of set
+partitions) whose worst-case examples legitimately exceed the default
+200 ms on slow CI machines.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

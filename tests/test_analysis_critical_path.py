@@ -1,0 +1,137 @@
+"""Tests for critical-path extraction and buffer occupancy analysis."""
+
+import pytest
+
+from repro.analysis import (
+    critical_layer_summary,
+    critical_path,
+    format_critical_path,
+)
+from repro.arch import ArchitectureConfig, CrossbarSpec, TileSpec, paper_case_study
+from repro.core import ScheduleOptions, compile_model
+from repro.frontend import preprocess
+from repro.ir import GraphBuilder
+from repro.mapping import minimum_pe_requirement
+from repro.models import tiny_sequential
+from repro.sim import analyze_buffers
+
+
+def compiled_model(mapping="none", extra=4):
+    g = preprocess(tiny_sequential(), quantization=None).graph
+    min_pes = minimum_pe_requirement(g, CrossbarSpec())
+    arch = paper_case_study(min_pes + extra)
+    return compile_model(
+        g, arch, ScheduleOptions(mapping=mapping, scheduling="clsa-cim"),
+        assume_canonical=True,
+    )
+
+
+def chain_compiled():
+    b = GraphBuilder("chain")
+    x = b.input((8, 8, 3), name="in")
+    for i in range(3):
+        x = b.conv2d(x, 4, kernel=1, padding="valid", use_bias=False, name=f"c{i}")
+    g = b.graph
+    return compile_model(
+        g, paper_case_study(4), ScheduleOptions(mapping="none", scheduling="clsa-cim"),
+        assume_canonical=True,
+    )
+
+
+class TestCriticalPath:
+    def test_path_ends_at_makespan(self):
+        compiled = compiled_model()
+        steps = critical_path(compiled)
+        assert steps[-1].end == compiled.latency_cycles
+
+    def test_path_is_contiguous(self):
+        """Consecutive steps touch: no unexplained idle gaps."""
+        compiled = compiled_model()
+        steps = critical_path(compiled)
+        for earlier, later in zip(steps, steps[1:]):
+            assert earlier.end == later.start
+
+    def test_first_step_is_source(self):
+        compiled = compiled_model()
+        steps = critical_path(compiled)
+        assert steps[0].bound_by == "source"
+        assert all(s.bound_by in ("data", "resource") for s in steps[1:])
+
+    def test_chain_path_walks_layers(self):
+        compiled = chain_compiled()
+        steps = critical_path(compiled)
+        layers_on_path = {step.layer for step in steps}
+        # the last layer is always on the path; the chain pulls in
+        # earlier layers through data dependencies
+        assert "c2" in layers_on_path
+        assert "c0" in layers_on_path
+
+    def test_summary_accounts_full_path(self):
+        compiled = compiled_model("wdup")
+        steps = critical_path(compiled)
+        summary = critical_layer_summary(compiled, steps)
+        assert sum(summary.values()) == sum(s.end - s.start for s in steps)
+        # origins are canonical layer names, not /dup names
+        for layer in summary:
+            assert "/dup" not in layer
+
+    def test_format(self):
+        compiled = compiled_model()
+        text = format_critical_path(compiled)
+        assert "critical path" in text
+        assert "%" in text
+
+    def test_layer_by_layer_rejected(self):
+        g = preprocess(tiny_sequential(), quantization=None).graph
+        min_pes = minimum_pe_requirement(g, CrossbarSpec())
+        compiled = compile_model(
+            g, paper_case_study(min_pes),
+            ScheduleOptions(mapping="none", scheduling="layer-by-layer"),
+            assume_canonical=True,
+        )
+        with pytest.raises(ValueError):
+            critical_path(compiled)
+
+
+class TestBufferAnalysis:
+    def test_every_tile_reported(self):
+        compiled = compiled_model()
+        report = analyze_buffers(compiled)
+        assert len(report.tiles) == compiled.arch.num_tiles
+
+    def test_peak_positive_for_real_model(self):
+        compiled = compiled_model()
+        report = analyze_buffers(compiled)
+        assert report.peak_bytes > 0
+
+    def test_bytes_scale_linearly(self):
+        compiled = compiled_model()
+        one = analyze_buffers(compiled, bytes_per_element=1)
+        four = analyze_buffers(compiled, bytes_per_element=4)
+        assert four.peak_bytes == 4 * one.peak_bytes
+
+    def test_overflow_detection(self):
+        g = preprocess(tiny_sequential(), quantization=None).graph
+        min_pes = minimum_pe_requirement(g, CrossbarSpec())
+        tiny_buffers = ArchitectureConfig(
+            num_pes=min_pes,
+            tile=TileSpec(input_buffer_bytes=1, output_buffer_bytes=1),
+        )
+        compiled = compile_model(
+            g, tiny_buffers,
+            ScheduleOptions(mapping="none", scheduling="clsa-cim"),
+            assume_canonical=True,
+        )
+        report = analyze_buffers(compiled)
+        assert report.overflowing_tiles  # 1-byte buffers must spill
+        assert "spill" in report.summary()
+
+    def test_roomy_buffers_do_not_overflow(self):
+        compiled = compiled_model()  # 64 KiB default buffers
+        report = analyze_buffers(compiled)
+        assert report.overflowing_tiles == []
+
+    def test_validation(self):
+        compiled = compiled_model()
+        with pytest.raises(ValueError):
+            analyze_buffers(compiled, bytes_per_element=0)

@@ -1,0 +1,114 @@
+"""Tests for the clsa-cim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "conv2d" in out
+        assert "PE_min = 117" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "tinyyolov3" in out
+        assert "936" in out
+
+
+class TestSchedule:
+    def test_schedule_defaults(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential", "--extra-pes", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wdup+xinf" in out
+        assert "Speedup" in out or "speedup" in out
+        assert "utilization" in out
+
+    def test_schedule_gantt(self, capsys):
+        code = main(
+            ["schedule", "--model", "tiny_sequential", "--mapping", "none", "--gantt"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # gantt busy marks
+
+    def test_schedule_coarse_granularity(self, capsys):
+        code = main(
+            ["schedule", "--model", "tiny_csp", "--rows-per-set", "4",
+             "--scheduling", "layer-by-layer"]
+        )
+        assert code == 0
+        assert "layer-by-layer" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--model", "alexnet"])
+
+
+class TestSweep:
+    def test_sweep_text(self, capsys):
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7(a)" in out
+        assert "Best speedup" in out
+
+    def test_sweep_csv(self, capsys):
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                     "--format", "csv"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines[0].startswith("benchmark,config")
+        # baseline + xinf + wdup + wdup+xinf = 4 rows
+        assert len(lines) == 5
+
+    def test_sweep_json(self, capsys):
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                     "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["benchmark"] == "tinyyolov4"
+        assert payload[0]["min_pes"] == 117
+        assert len(payload[0]["points"]) == 3
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestScheduleAnalysisFlags:
+    def test_critical_path_flag(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--critical-path"])
+        assert code == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_buffers_flag(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential", "--buffers"])
+        assert code == 0
+        assert "buffer occupancy" in capsys.readouterr().out
+
+    def test_energy_flag(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential", "--energy"])
+        assert code == 0
+        assert "uJ" in capsys.readouterr().out
+
+    def test_batch_flag(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential", "--batch", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch 4" in out
+        assert "images/ms" in out
+
+    def test_batch_requires_clsa_cim(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--scheduling", "layer-by-layer", "--batch", "2"])
+        assert code == 2
+        assert "requires" in capsys.readouterr().out

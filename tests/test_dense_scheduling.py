@@ -1,0 +1,109 @@
+"""Scheduling behaviour of Dense layers (classifier heads).
+
+Dense layers are base layers with a single OFM set and a *full-input*
+dependency (through Flatten/GlobalAvgPool): they act as barriers in the
+cross-layer schedule.  The VGG/ResNet models with ``include_top=True``
+exercise this path at scale.
+"""
+
+import pytest
+
+from repro.analysis import layer_utilization_report
+from repro.arch import CrossbarSpec, paper_case_study
+from repro.core import ScheduleOptions, compile_model
+from repro.frontend import preprocess
+from repro.ir import GraphBuilder
+from repro.mapping import minimum_pe_requirement
+from repro.sim import evaluate
+
+
+def classifier_model():
+    b = GraphBuilder("classifier")
+    x = b.input((16, 16, 3), name="in")
+    x = b.conv2d(x, 8, kernel=3, padding="same", use_bias=True)
+    x = b.relu(x)
+    x = b.maxpool(x, 2)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.dense(x, 32, use_bias=True)
+    x = b.relu(x)
+    b.dense(x, 10, use_bias=True)
+    return b.graph
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    g = preprocess(classifier_model(), quantization=None).graph
+    min_pes = minimum_pe_requirement(g, CrossbarSpec())
+    return compile_model(
+        g,
+        paper_case_study(min_pes + 2),
+        ScheduleOptions(mapping="none", scheduling="clsa-cim"),
+        assume_canonical=True,
+    )
+
+
+class TestDenseScheduling:
+    def test_dense_is_single_set(self, compiled):
+        dense_layers = [
+            name for name in compiled.mapped.base_layers() if "dense" in name
+        ]
+        assert len(dense_layers) == 2
+        for layer in dense_layers:
+            assert len(compiled.sets[layer]) == 1
+
+    def test_dense_waits_for_full_producer(self, compiled):
+        """GlobalAvgPool makes the first Dense a barrier: it starts only
+        after the conv's entire OFM is finished."""
+        conv = compiled.mapped.base_layers()[0]
+        first_dense = [
+            name for name in compiled.mapped.base_layers() if "dense" in name
+        ][0]
+        conv_end = compiled.schedule.layer_span(conv)[1]
+        dense_start = compiled.schedule.layer_span(first_dense)[0]
+        assert dense_start >= conv_end
+
+    def test_dense_chain_sequential(self, compiled):
+        d1, d2 = [
+            name for name in compiled.mapped.base_layers() if "dense" in name
+        ]
+        assert compiled.schedule.layer_span(d2)[0] >= compiled.schedule.layer_span(d1)[1]
+
+    def test_metrics_and_simulation(self, compiled):
+        from repro.sim import simulate
+
+        metrics = evaluate(compiled)
+        assert 0 < metrics.utilization <= 1
+        assert simulate(compiled).finish_cycles == compiled.latency_cycles
+
+    def test_vgg16_with_top_compiles(self):
+        from repro.models import vgg16
+
+        g = preprocess(vgg16(include_top=True), quantization=None).graph
+        min_pes = minimum_pe_requirement(g, CrossbarSpec())
+        # the 4096-wide FC layers need many PEs: 25088x4096 kernel matrix
+        assert min_pes > 233
+        compiled = compile_model(
+            g,
+            paper_case_study(min_pes),
+            ScheduleOptions(mapping="none", scheduling="clsa-cim"),
+            assume_canonical=True,
+        )
+        # dense layers are at the end of the critical path
+        last_base = compiled.mapped.base_layers()[-1]
+        assert "dense" in last_base
+        assert compiled.schedule.layer_span(last_base)[1] == compiled.latency_cycles
+
+
+class TestLayerUtilizationReport:
+    def test_report_contents(self, compiled):
+        text = layer_utilization_report(compiled)
+        assert "per-layer PE activity" in text
+        assert "Busy share" in text
+        assert "%" in text
+
+    def test_shares_bounded(self, compiled):
+        text = layer_utilization_report(compiled)
+        for line in text.splitlines()[3:]:
+            share = float(line.split()[-1].rstrip("%"))
+            assert 0.0 <= share <= 100.0

@@ -1,0 +1,114 @@
+"""Unit tests for BN folding (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import fold_batch_norms
+from repro.ir import Executor, GraphBuilder
+
+
+def conv_bn_graph(use_bias=False):
+    b = GraphBuilder("net")
+    x = b.input((8, 8, 3), name="in")
+    c = b.conv2d(x, 4, kernel=3, padding="same", use_bias=use_bias, name="conv")
+    bn = b.batch_norm(c, name="bn")
+    b.relu(bn, name="act")
+    g = b.graph
+    g.initialize_weights(seed=42)
+    return g
+
+
+class TestNumericFold:
+    @pytest.mark.parametrize("use_bias", [False, True])
+    def test_outputs_preserved(self, use_bias):
+        g = conv_bn_graph(use_bias=use_bias)
+        reference = Executor(g).run_single(np.random.default_rng(0).normal(size=(8, 8, 3)))
+
+        folded = g.copy()
+        report = fold_batch_norms(folded)
+        assert report.num_folded == 1
+        assert ("bn", "conv") in report.folded
+        assert "bn" not in folded
+
+        image = np.random.default_rng(0).normal(size=(8, 8, 3))
+        np.testing.assert_allclose(
+            Executor(folded).run_single(image), reference, rtol=1e-10, atol=1e-10
+        )
+
+    def test_conv_gains_bias(self):
+        g = conv_bn_graph()
+        fold_batch_norms(g)
+        conv = g["conv"]
+        assert conv.use_bias
+        assert conv.bias is not None
+        assert conv.bias.shape == (4,)
+
+    def test_wiring_after_fold(self):
+        g = conv_bn_graph()
+        fold_batch_norms(g)
+        assert g["act"].inputs == ["conv"]
+
+    def test_dense_bn_fold(self):
+        b = GraphBuilder("net")
+        x = b.input((1, 1, 16), name="in")
+        d = b.dense(x, 8, use_bias=True, name="fc")
+        b.batch_norm(d, name="bn")
+        g = b.graph
+        g.initialize_weights(seed=9)
+        image = np.random.default_rng(1).normal(size=(1, 1, 16))
+        reference = Executor(g).run_single(image)
+        report = fold_batch_norms(g)
+        assert report.num_folded == 1
+        np.testing.assert_allclose(Executor(g).run_single(image), reference, atol=1e-10)
+
+
+class TestStructuralFold:
+    def test_geometry_only_graph(self):
+        """Graphs without numeric weights fold structurally."""
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        c = b.conv2d(x, 4, use_bias=False, name="conv")
+        b.batch_norm(c, name="bn")
+        g = b.graph  # no initialize_weights
+        report = fold_batch_norms(g)
+        assert report.num_folded == 1
+        assert g["conv"].use_bias
+        assert g["conv"].weights is None
+
+
+class TestSkippedFolds:
+    def test_bn_after_non_base_layer_skipped(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        p = b.maxpool(x, 2, name="pool")
+        b.batch_norm(p, name="bn")
+        g = b.graph
+        report = fold_batch_norms(g)
+        assert report.num_folded == 0
+        assert report.skipped == ["bn"]
+        assert "bn" in g
+
+    def test_bn_with_shared_conv_skipped(self):
+        """Conv feeding both a BN and another consumer must not fold."""
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        c = b.conv2d(x, 4, name="conv")
+        bn = b.batch_norm(c, name="bn")
+        b.add([bn, c], name="residual")
+        g = b.graph
+        report = fold_batch_norms(g)
+        assert report.skipped == ["bn"]
+        assert "bn" in g
+
+    def test_multiple_bns_fold_independently(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        c1 = b.conv_bn_act(x, 4, name="conv_a")
+        b.conv_bn_act(c1, 8, name="conv_b")
+        g = b.graph
+        g.initialize_weights(seed=5)
+        image = np.random.default_rng(2).normal(size=(8, 8, 3))
+        reference = Executor(g).run_single(image)
+        report = fold_batch_norms(g)
+        assert report.num_folded == 2
+        np.testing.assert_allclose(Executor(g).run_single(image), reference, atol=1e-9)

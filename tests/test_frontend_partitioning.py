@@ -1,0 +1,123 @@
+"""Unit tests for graph partitioning into base / non-base layers."""
+
+import numpy as np
+
+from repro.frontend import (
+    decouple_bias,
+    decouple_padding,
+    is_canonical,
+    partition_graph,
+)
+from repro.ir import Executor, GraphBuilder, Shape
+
+
+def yolo_stem():
+    """416x416 stem reproducing Table I's padded (417, 417, 3) IFM."""
+    b = GraphBuilder("stem")
+    x = b.input((416, 416, 3), name="in")
+    c = b.conv2d(x, 32, kernel=3, strides=2, padding="same", use_bias=True, name="conv")
+    b.leaky_relu(c)
+    return b.graph
+
+
+class TestDecouplePadding:
+    def test_table1_padded_input_shape(self):
+        g = yolo_stem()
+        rewritten = decouple_padding(g)
+        assert rewritten == ["conv"]
+        pad_name = g["conv"].inputs[0]
+        assert g[pad_name].op_type == "Pad"
+        # Table I: IFM of the first conv is (417, 417, 3)
+        assert g.shape_of(pad_name) == Shape(417, 417, 3)
+        assert g["conv"].padding == "valid"
+        assert g.shape_of("conv") == Shape(208, 208, 32)
+
+    def test_zero_padding_skips_pad_node(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        b.conv2d(x, 4, kernel=1, padding="same", name="conv")  # 1x1 needs no pad
+        g = b.graph
+        decouple_padding(g)
+        assert g["conv"].padding == "valid"
+        assert g["conv"].inputs == ["in"]
+
+    def test_valid_convs_untouched(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        b.conv2d(x, 4, kernel=3, padding="valid", name="conv")
+        g = b.graph
+        assert decouple_padding(g) == []
+
+    def test_numeric_equivalence(self):
+        g = yolo_stem()
+        g.initialize_weights(seed=3)
+        image = np.random.default_rng(0).normal(size=(416, 416, 3))
+        reference = Executor(g).run_single(image)
+        decouple_padding(g)
+        np.testing.assert_allclose(Executor(g).run_single(image), reference, atol=1e-12)
+
+
+class TestDecoupleBias:
+    def test_bias_moves_to_new_node(self):
+        g = yolo_stem()
+        g.initialize_weights(seed=3)
+        original_bias = g["conv"].bias.copy()
+        rewritten = decouple_bias(g)
+        assert rewritten == ["conv"]
+        assert not g["conv"].use_bias
+        assert g["conv"].bias is None
+        bias_node = g["conv_bias"]
+        np.testing.assert_array_equal(bias_node.bias, original_bias)
+        assert bias_node.inputs == ["conv"]
+
+    def test_numeric_equivalence(self):
+        g = yolo_stem()
+        g.initialize_weights(seed=3)
+        image = np.random.default_rng(1).normal(size=(416, 416, 3))
+        reference = Executor(g).run_single(image)
+        decouple_bias(g)
+        np.testing.assert_allclose(Executor(g).run_single(image), reference, atol=1e-12)
+
+    def test_unbiased_layers_untouched(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        b.conv2d(x, 4, use_bias=False, name="conv")
+        g = b.graph
+        assert decouple_bias(g) == []
+
+
+class TestPartitionGraph:
+    def test_canonical_form(self):
+        g = yolo_stem()
+        g.initialize_weights(seed=3)
+        assert not is_canonical(g)
+        report = partition_graph(g)
+        assert is_canonical(g)
+        assert report.base_layers == ["conv"]
+        # Pad, BiasAdd and LeakyReLU are non-base layers
+        assert len(report.non_base_layers) == 3
+
+    def test_branching_graph(self):
+        b = GraphBuilder("net")
+        x = b.input((16, 16, 3), name="in")
+        c1 = b.conv2d(x, 8, kernel=3, padding="same", use_bias=True)
+        c2 = b.conv2d(x, 8, kernel=1, padding="valid", use_bias=True)
+        b.add([c1, c2])
+        g = b.graph
+        g.initialize_weights(seed=7)
+        image = np.random.default_rng(2).normal(size=(16, 16, 3))
+        reference = Executor(g).run_single(image)
+        report = partition_graph(g)
+        assert is_canonical(g)
+        assert len(report.base_layers) == 2
+        np.testing.assert_allclose(Executor(g).run_single(image), reference, atol=1e-12)
+
+    def test_dense_bias_decoupled(self):
+        b = GraphBuilder("net")
+        x = b.input((1, 1, 32), name="in")
+        b.dense(x, 10, use_bias=True, name="fc")
+        g = b.graph
+        g.initialize_weights(seed=4)
+        report = partition_graph(g)
+        assert report.bias_decoupled == ["fc"]
+        assert is_canonical(g)

@@ -1,0 +1,74 @@
+"""Integration tests for the preprocessing pipeline (Fig. 2 flow)."""
+
+import numpy as np
+
+from repro.frontend import QuantizationConfig, is_canonical, preprocess
+from repro.ir import Executor, GraphBuilder
+
+
+def framework_style_model():
+    """A small conv net in 'framework' form: same-padding, fused bias, BN."""
+    b = GraphBuilder("mini")
+    x = b.input((32, 32, 3), name="in")
+    x = b.conv_bn_act(x, 8, kernel=3, strides=2, activation="leaky_relu")
+    x = b.maxpool(x, 2)
+    x = b.conv2d(x, 16, kernel=3, padding="same", use_bias=True)
+    x = b.relu(x)
+    g = b.graph
+    g.initialize_weights(seed=21)
+    return g
+
+
+class TestPreprocess:
+    def test_original_graph_untouched(self):
+        g = framework_style_model()
+        node_count = len(g)
+        preprocess(g)
+        assert len(g) == node_count
+        assert not is_canonical(g)  # original still framework-style
+
+    def test_result_is_canonical(self):
+        report = preprocess(framework_style_model())
+        assert is_canonical(report.graph)
+        assert report.bn_folding.num_folded == 1
+        assert len(report.base_layers) == 2
+
+    def test_functional_equivalence_without_quantization(self):
+        g = framework_style_model()
+        image = np.random.default_rng(0).normal(size=(32, 32, 3))
+        reference = Executor(g).run_single(image)
+        report = preprocess(g, quantization=None)
+        np.testing.assert_allclose(
+            Executor(report.graph).run_single(image), reference, rtol=1e-9, atol=1e-9
+        )
+
+    def test_quantized_output_close(self):
+        """8-bit quantization must track the float model closely."""
+        g = framework_style_model()
+        image = np.random.default_rng(0).normal(size=(32, 32, 3))
+        reference = Executor(g).run_single(image)
+        report = preprocess(g, quantization=QuantizationConfig(weight_bits=8))
+        quantized_out = Executor(report.graph).run_single(image)
+        # loose relative tolerance: quantization error accumulates
+        assert np.abs(quantized_out - reference).max() < 0.1 * (np.abs(reference).max() + 1)
+
+    def test_summary_mentions_stages(self):
+        report = preprocess(framework_style_model())
+        text = report.summary()
+        assert "BN folded" in text
+        assert "base layers" in text
+        assert "quantized" in text
+
+    def test_geometry_only_model(self):
+        """Scheduling-only usage: no weights anywhere, no quantization."""
+        b = GraphBuilder("geo")
+        x = b.input((416, 416, 3), name="in")
+        x = b.conv_bn_act(x, 32, kernel=3, strides=2)
+        b.conv_bn_act(x, 64, kernel=3, strides=2)
+        report = preprocess(b.graph, quantization=None)
+        assert is_canonical(report.graph)
+        assert len(report.base_layers) == 2
+        # Table I geometry: first conv sees the padded 417x417 input
+        conv = report.graph[report.base_layers[0]]
+        pad_name = conv.inputs[0]
+        assert report.graph.shape_of(pad_name).hwc == (417, 417, 3)

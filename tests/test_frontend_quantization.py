@@ -1,0 +1,124 @@
+"""Unit tests for weight quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend import (
+    QuantizationConfig,
+    QuantizationError,
+    integer_levels,
+    quantization_error_bound,
+    quantize_graph,
+    quantize_tensor,
+)
+from repro.ir import GraphBuilder
+
+
+class TestConfig:
+    def test_q_max(self):
+        assert QuantizationConfig(weight_bits=4).q_max == 7
+        assert QuantizationConfig(weight_bits=8).q_max == 127
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(weight_bits=1)
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(weight_bits=17)
+
+
+class TestQuantizeTensor:
+    def test_values_on_grid(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(3, 3, 8, 16))
+        config = QuantizationConfig(weight_bits=4, per_channel=True)
+        quantized, scale = quantize_tensor(weights, config, channel_axis=3)
+        levels = integer_levels(quantized, scale, channel_axis=3)
+        assert levels.min() >= -config.q_max
+        assert levels.max() <= config.q_max
+        # dequantized values reconstruct exactly from levels * scale
+        np.testing.assert_allclose(levels * scale.reshape(1, 1, 1, -1), quantized,
+                                   atol=1e-12)
+
+    def test_error_within_bound(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(3, 3, 4, 8))
+        config = QuantizationConfig(weight_bits=4, per_channel=True)
+        quantized, scale = quantize_tensor(weights, config, channel_axis=3)
+        error = np.abs(quantized - weights).max()
+        assert error <= quantization_error_bound(scale) + 1e-12
+
+    def test_per_tensor_single_scale(self):
+        weights = np.random.default_rng(2).normal(size=(3, 3, 4, 8))
+        config = QuantizationConfig(weight_bits=4, per_channel=False)
+        _, scale = quantize_tensor(weights, config)
+        assert np.asarray(scale).ndim == 0
+
+    def test_zero_channel_handled(self):
+        weights = np.zeros((1, 1, 2, 3))
+        weights[..., 0] = 0.0  # all-zero channel
+        weights[..., 1] = 1.0
+        config = QuantizationConfig(weight_bits=4, per_channel=True)
+        quantized, scale = quantize_tensor(weights, config, channel_axis=3)
+        np.testing.assert_array_equal(quantized[..., 0], 0.0)
+        assert scale[0] == 1.0
+
+    def test_extremes_exactly_representable(self):
+        """The per-channel max |w| maps exactly onto the grid."""
+        weights = np.array([[-2.0, 0.5, 2.0]]).reshape(1, 1, 1, 3).repeat(2, axis=2)
+        config = QuantizationConfig(weight_bits=4, per_channel=True)
+        quantized, _ = quantize_tensor(weights, config, channel_axis=3)
+        np.testing.assert_allclose(quantized[0, 0, 0], [-2.0, 0.5, 2.0])
+
+    def test_more_bits_reduce_error(self):
+        rng = np.random.default_rng(3)
+        weights = rng.normal(size=(3, 3, 8, 8))
+        errors = []
+        for bits in (2, 4, 8):
+            config = QuantizationConfig(weight_bits=bits, per_channel=False)
+            quantized, _ = quantize_tensor(weights, config)
+            errors.append(np.abs(quantized - weights).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    @given(bits=st.integers(2, 8), seed=st.integers(0, 1000))
+    def test_property_idempotent(self, bits, seed):
+        """Quantizing already-quantized weights is the identity."""
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(2, 2, 3, 4))
+        config = QuantizationConfig(weight_bits=bits, per_channel=True)
+        once, _ = quantize_tensor(weights, config, channel_axis=3)
+        twice, _ = quantize_tensor(once, config, channel_axis=3)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestQuantizeGraph:
+    def make_graph(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        c = b.conv2d(x, 4, kernel=3, padding="valid", use_bias=False, name="conv")
+        f = b.flatten(b.global_avgpool(c))
+        b.dense(f, 10, use_bias=False, name="fc")
+        g = b.graph
+        g.initialize_weights(seed=11)
+        return g
+
+    def test_all_base_layers_quantized(self):
+        g = self.make_graph()
+        report = quantize_graph(g, QuantizationConfig(weight_bits=4))
+        assert [entry.layer for entry in report.layers] == ["conv", "fc"]
+        assert report.max_abs_error > 0.0
+
+    def test_geometry_only_layers_skipped(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        b.conv2d(x, 4, name="conv")
+        report = quantize_graph(b.graph)
+        assert report.layers == []
+
+    def test_weights_on_grid_after_pass(self):
+        g = self.make_graph()
+        report = quantize_graph(g, QuantizationConfig(weight_bits=3))
+        conv_entry = report.layers[0]
+        levels = integer_levels(g["conv"].weights, conv_entry.scale, channel_axis=3)
+        assert np.abs(levels).max() <= QuantizationConfig(weight_bits=3).q_max

@@ -1,0 +1,119 @@
+"""Tests for the graph simplification passes."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import (
+    drop_zero_pads,
+    eliminate_dead_nodes,
+    merge_pads,
+    remove_identities,
+    simplify,
+)
+from repro.ir import Executor, GraphBuilder, Shape
+
+
+def graph_with_clutter():
+    b = GraphBuilder("cluttered")
+    x = b.input((8, 8, 3), name="in")
+    x = b.identity(x, name="alias1")
+    x = b.pad(x, (1, 1, 1, 1), name="pad_a")
+    x = b.pad(x, (0, 0, 0, 0), name="pad_zero")
+    x = b.pad(x, (1, 0, 1, 0), name="pad_b")
+    x = b.conv2d(x, 4, kernel=3, padding="valid", use_bias=False, name="conv")
+    b.relu(x, name="act")
+    g = b.graph
+    g.initialize_weights(seed=1)
+    return g
+
+
+class TestIndividualPasses:
+    def test_remove_identities(self):
+        g = graph_with_clutter()
+        removed = remove_identities(g)
+        assert removed == ["alias1"]
+        assert "alias1" not in g
+        assert g["pad_a"].inputs == ["in"]
+
+    def test_drop_zero_pads(self):
+        g = graph_with_clutter()
+        removed = drop_zero_pads(g)
+        assert removed == ["pad_zero"]
+        assert g["pad_b"].inputs == ["pad_a"]
+
+    def test_merge_pads(self):
+        g = graph_with_clutter()
+        drop_zero_pads(g)
+        merged = merge_pads(g)
+        assert merged == [("pad_a", "pad_b")]
+        pad = g["pad_b"]
+        assert (pad.pad_top, pad.pad_bottom, pad.pad_left, pad.pad_right) == (2, 1, 2, 1)
+
+    def test_merge_respects_shared_pad(self):
+        b = GraphBuilder("shared")
+        x = b.input((4, 4, 1), name="in")
+        p1 = b.pad(x, (1, 1, 1, 1), name="p1")
+        b.pad(p1, (1, 1, 1, 1), name="p2")
+        b.identity(p1, name="other_consumer")
+        g = b.graph
+        assert merge_pads(g) == []  # p1 feeds two consumers
+
+    def test_merge_respects_fill_value(self):
+        from repro.ir import Pad
+
+        b = GraphBuilder("values")
+        x = b.input((4, 4, 1), name="in")
+        g = b.graph
+        g.add(Pad("p1", [x], pad_top=1, value=0.0))
+        g.add(Pad("p2", ["p1"], pad_top=1, value=-1.0))
+        assert merge_pads(g) == []
+
+    def test_eliminate_dead_nodes(self):
+        g = graph_with_clutter()
+        # prune to just the conv: the relu becomes dead
+        removed = eliminate_dead_nodes(g, outputs=["conv"])
+        assert removed == ["act"]
+        assert "conv" in g
+
+    def test_eliminate_unknown_output_rejected(self):
+        g = graph_with_clutter()
+        with pytest.raises(KeyError):
+            eliminate_dead_nodes(g, outputs=["ghost"])
+
+    def test_natural_outputs_keep_everything(self):
+        g = graph_with_clutter()
+        assert eliminate_dead_nodes(g) == []
+
+
+class TestSimplify:
+    def test_fixed_point(self):
+        g = graph_with_clutter()
+        report = simplify(g)
+        assert report.total_changes == 3  # identity + zero pad + merge
+        # idempotent
+        again = simplify(g)
+        assert again.total_changes == 0
+
+    def test_shapes_preserved(self):
+        g = graph_with_clutter()
+        before = g.shape_of("act")
+        simplify(g)
+        # 8x8 input + (2,1,2,1) total padding = 11x11; 3x3 valid -> 9x9
+        assert g.shape_of("act") == before == Shape(9, 9, 4)
+
+    def test_numeric_equivalence(self):
+        g = graph_with_clutter()
+        image = np.random.default_rng(0).normal(size=(8, 8, 3))
+        expected = Executor(g).run_single(image)
+        simplify(g)
+        np.testing.assert_allclose(Executor(g).run_single(image), expected, atol=1e-12)
+
+    def test_clean_graph_untouched(self):
+        b = GraphBuilder("clean")
+        x = b.input((8, 8, 3), name="in")
+        b.conv2d(x, 4, kernel=3, padding="valid", use_bias=False)
+        g = b.graph
+        node_count = len(g)
+        report = simplify(g)
+        assert report.total_changes == 0
+        assert len(g) == node_count

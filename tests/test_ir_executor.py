@@ -1,0 +1,224 @@
+"""Unit tests for the numpy reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Executor,
+    GraphBuilder,
+    conv2d_reference,
+    im2col_patches,
+    run_graph,
+)
+from repro.ir.executor import ExecutionError
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestIm2col:
+    def test_patch_matrix_shape(self):
+        ifm = rng().normal(size=(6, 6, 3))
+        patches = im2col_patches(ifm, (3, 3), (1, 1))
+        assert patches.shape == (16, 27)
+
+    def test_patch_contents(self):
+        ifm = np.arange(16, dtype=float).reshape(4, 4, 1)
+        patches = im2col_patches(ifm, (2, 2), (2, 2))
+        assert patches.shape == (4, 4)
+        np.testing.assert_array_equal(patches[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(patches[3], [10, 11, 14, 15])
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ExecutionError):
+            im2col_patches(np.zeros((2, 2, 1)), (3, 3), (1, 1))
+
+    def test_conv_equals_direct_convolution(self):
+        """im2col GEMM must equal a naive direct convolution."""
+        r = rng()
+        ifm = r.normal(size=(7, 9, 3))
+        weights = r.normal(size=(3, 3, 3, 5))
+        out = conv2d_reference(ifm, weights, (2, 2), "valid")
+        # naive loop reference
+        oh = (7 - 3) // 2 + 1
+        ow = (9 - 3) // 2 + 1
+        expected = np.zeros((oh, ow, 5))
+        for i in range(oh):
+            for j in range(ow):
+                window = ifm[i * 2 : i * 2 + 3, j * 2 : j * 2 + 3, :]
+                for k in range(5):
+                    expected[i, j, k] = np.sum(window * weights[:, :, :, k])
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_conv_same_padding(self):
+        r = rng()
+        ifm = r.normal(size=(8, 8, 2))
+        weights = r.normal(size=(3, 3, 2, 4))
+        out = conv2d_reference(ifm, weights, (1, 1), "same")
+        assert out.shape == (8, 8, 4)
+        # interior positions must match valid conv shifted by the pad
+        valid = conv2d_reference(ifm, weights, (1, 1), "valid")
+        np.testing.assert_allclose(out[1:-1, 1:-1, :], valid, atol=1e-12)
+
+    def test_conv_bias(self):
+        r = rng()
+        ifm = r.normal(size=(4, 4, 1))
+        weights = r.normal(size=(1, 1, 1, 3))
+        bias = np.array([1.0, -2.0, 0.5])
+        with_bias = conv2d_reference(ifm, weights, (1, 1), "valid", bias)
+        without = conv2d_reference(ifm, weights, (1, 1), "valid")
+        np.testing.assert_allclose(with_bias - without, np.broadcast_to(bias, (4, 4, 3)))
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ExecutionError):
+            conv2d_reference(np.zeros((4, 4, 2)), np.zeros((3, 3, 3, 4)), (1, 1), "valid")
+
+
+class TestExecutor:
+    def test_simple_pipeline(self):
+        b = GraphBuilder("net")
+        x = b.input((8, 8, 3), name="in")
+        c = b.conv2d(x, 4, kernel=3, padding="same", use_bias=True)
+        a = b.relu(c)
+        b.maxpool(a, 2)
+        g = b.graph
+        g.initialize_weights(seed=7)
+        out = Executor(g).run_single(rng().normal(size=(8, 8, 3)))
+        assert out.shape == (4, 4, 4)
+        assert np.all(out >= 0.0)  # relu then max-pool keeps non-negatives
+
+    def test_input_as_dict_and_array_agree(self):
+        b = GraphBuilder("net")
+        x = b.input((4, 4, 1), name="image")
+        b.conv2d(x, 2, kernel=1, use_bias=False)
+        g = b.graph
+        g.initialize_weights(seed=3)
+        image = rng().normal(size=(4, 4, 1))
+        out1 = Executor(g).run_single(image)
+        out2 = Executor(g).run({"image": image})
+        np.testing.assert_array_equal(out1, list(out2.values())[0])
+
+    def test_missing_input_raises(self):
+        b = GraphBuilder("net")
+        b.input((4, 4, 1), name="image")
+        with pytest.raises(ExecutionError, match="missing"):
+            Executor(b.graph).run({})
+
+    def test_wrong_input_shape_raises(self):
+        b = GraphBuilder("net")
+        b.input((4, 4, 1), name="image")
+        with pytest.raises(ExecutionError, match="shape"):
+            Executor(b.graph).run(np.zeros((5, 5, 1)))
+
+    def test_missing_weights_raises(self):
+        b = GraphBuilder("net")
+        x = b.input((4, 4, 1))
+        b.conv2d(x, 2)
+        with pytest.raises(ExecutionError, match="weights"):
+            Executor(b.graph).run(np.zeros((4, 4, 1)))
+
+    def test_branching_and_concat(self):
+        b = GraphBuilder("net")
+        x = b.input((4, 4, 2), name="in")
+        left = b.channel_slice(x, 0, 1)
+        right = b.channel_slice(x, 1, 1)
+        cat = b.concat([left, right])
+        b.add([cat, x])
+        g = b.graph
+        image = rng().normal(size=(4, 4, 2))
+        out = Executor(g).run_single(image)
+        # slice+concat reconstructs the input, add doubles it
+        np.testing.assert_allclose(out, 2.0 * image)
+
+    def test_pad_and_valid_conv_equals_same_conv(self):
+        """Explicit Pad + valid conv == same-padded conv (Sec. III-A)."""
+        r = rng()
+        image = r.normal(size=(9, 9, 2))
+        weights = r.normal(size=(3, 3, 2, 4))
+
+        b1 = GraphBuilder("same")
+        x = b1.input((9, 9, 2), name="in")
+        c = b1.conv2d(x, 4, kernel=3, strides=2, padding="same", use_bias=False)
+        g1 = b1.graph
+        g1["conv2d"].weights = weights
+
+        from repro.ir import same_padding
+
+        pt, pb = same_padding(9, 3, 2)
+        pl, pr = same_padding(9, 3, 2)
+        b2 = GraphBuilder("padded")
+        x = b2.input((9, 9, 2), name="in")
+        p = b2.pad(x, (pt, pb, pl, pr))
+        c = b2.conv2d(p, 4, kernel=3, strides=2, padding="valid", use_bias=False)
+        g2 = b2.graph
+        g2["conv2d"].weights = weights
+
+        np.testing.assert_allclose(
+            Executor(g1).run_single(image), Executor(g2).run_single(image), atol=1e-12
+        )
+
+    def test_maxpool_same_stride1(self):
+        b = GraphBuilder("net")
+        x = b.input((3, 3, 1), name="in")
+        b.maxpool(x, 2, strides=1, padding="same")
+        image = np.arange(9, dtype=float).reshape(3, 3, 1)
+        out = Executor(b.graph).run_single(image)
+        assert out.shape == (3, 3, 1)
+        # bottom-right output is the max over the padded window = 8
+        assert out[2, 2, 0] == 8.0
+
+    def test_upsample_nearest(self):
+        b = GraphBuilder("net")
+        x = b.input((2, 2, 1), name="in")
+        b.upsample(x, 2)
+        image = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(2, 2, 1)
+        out = Executor(b.graph).run_single(image)
+        np.testing.assert_array_equal(out[:, :, 0], [[1, 1, 2, 2], [1, 1, 2, 2],
+                                                     [3, 3, 4, 4], [3, 3, 4, 4]])
+
+    def test_global_avg_and_dense(self):
+        b = GraphBuilder("net")
+        x = b.input((4, 4, 8), name="in")
+        gap = b.global_avgpool(x)
+        flat = b.flatten(gap)
+        b.dense(flat, 10, use_bias=True)
+        g = b.graph
+        g.initialize_weights(seed=11)
+        out = Executor(g).run_single(rng().normal(size=(4, 4, 8)))
+        assert out.shape == (1, 1, 10)
+
+    def test_batchnorm_numeric(self):
+        b = GraphBuilder("net")
+        x = b.input((2, 2, 3), name="in")
+        b.batch_norm(x)
+        g = b.graph
+        bn = g["batch_normalization"]
+        bn.gamma = np.array([1.0, 2.0, 0.5])
+        bn.beta = np.array([0.0, 1.0, -1.0])
+        bn.mean = np.array([0.5, 0.0, 0.0])
+        bn.variance = np.array([1.0, 4.0, 0.25])
+        bn.epsilon = 0.0
+        image = np.ones((2, 2, 3))
+        out = Executor(g).run_single(image)
+        expected = (1.0 - bn.mean) / np.sqrt(bn.variance) * bn.gamma + bn.beta
+        np.testing.assert_allclose(out[0, 0], expected)
+
+    def test_run_graph_helper(self):
+        b = GraphBuilder("net")
+        x = b.input((2, 2, 1), name="in")
+        b.identity(x, name="out")
+        image = rng().normal(size=(2, 2, 1))
+        outputs = run_graph(b.graph, image)
+        np.testing.assert_array_equal(outputs["out"], image)
+
+    def test_intermediate_outputs_requestable(self):
+        b = GraphBuilder("net")
+        x = b.input((4, 4, 1), name="in")
+        c = b.conv2d(x, 2, kernel=1, use_bias=False)
+        b.relu(c)
+        g = b.graph
+        g.initialize_weights(seed=5)
+        values = Executor(g).run(np.ones((4, 4, 1)), node_names=["conv2d", "relu"])
+        assert set(values) == {"conv2d", "relu"}
+        np.testing.assert_allclose(values["relu"], np.maximum(values["conv2d"], 0))

@@ -1,0 +1,318 @@
+"""Unit tests for repro.ir.ops: shape inference and region propagation."""
+
+import pytest
+
+from repro.ir import (
+    Activation,
+    Add,
+    AvgPool,
+    BatchNorm,
+    BiasAdd,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    Input,
+    MaxPool,
+    OpError,
+    Pad,
+    Rect,
+    Shape,
+    Slice,
+    Upsample,
+    conv_out_size,
+    same_padding,
+)
+
+
+class TestPaddingHelpers:
+    def test_same_padding_matches_table1_first_conv(self):
+        """416x416 3x3 stride-2 SAME -> pads to 417 (Table I: IFM 417)."""
+        before, after = same_padding(416, 3, 2)
+        assert (before, after) == (0, 1)
+        assert 416 + before + after == 417
+
+    def test_same_padding_stride1(self):
+        assert same_padding(104, 3, 1) == (1, 1)
+
+    def test_same_padding_no_pad_needed(self):
+        assert same_padding(4, 1, 1) == (0, 0)
+
+    def test_conv_out_size_valid(self):
+        assert conv_out_size(417, 3, 2, "valid") == 208
+        assert conv_out_size(106, 3, 1, "valid") == 104
+
+    def test_conv_out_size_same(self):
+        assert conv_out_size(416, 3, 2, "same") == 208
+        assert conv_out_size(13, 2, 1, "same") == 13
+
+    def test_conv_out_size_rejects_oversized_kernel(self):
+        with pytest.raises(OpError):
+            conv_out_size(2, 3, 1, "valid")
+
+    def test_conv_out_size_rejects_unknown_mode(self):
+        with pytest.raises(OpError):
+            conv_out_size(4, 2, 1, "reflect")
+
+
+class TestInput:
+    def test_shape(self):
+        op = Input("in", [], shape=Shape(4, 4, 3))
+        assert op.infer_shape([]) == Shape(4, 4, 3)
+
+    def test_accepts_tuple_shape(self):
+        op = Input("in", [], shape=(4, 5, 6))
+        assert op.shape == Shape(4, 5, 6)
+
+    def test_rejects_producers(self):
+        with pytest.raises(OpError):
+            Input("in", ["x"], shape=Shape(1, 1, 1))
+
+    def test_requires_shape(self):
+        with pytest.raises(OpError):
+            Input("in", [])
+
+
+class TestConv2D:
+    def test_valid_shape(self):
+        op = Conv2D("c", ["x"], out_channels=8, kernel=(3, 3), strides=(2, 2),
+                    padding="valid")
+        assert op.infer_shape([Shape(417, 417, 3)]) == Shape(208, 208, 8)
+
+    def test_same_shape(self):
+        op = Conv2D("c", ["x"], out_channels=8, kernel=(3, 3), strides=(1, 1),
+                    padding="same")
+        assert op.infer_shape([Shape(13, 13, 4)]) == Shape(13, 13, 8)
+
+    def test_is_base(self):
+        assert Conv2D("c", ["x"], out_channels=1).is_base
+
+    def test_region_valid_stride1(self):
+        op = Conv2D("c", ["x"], out_channels=4, kernel=(3, 3), padding="valid")
+        [rect] = op.input_regions(Rect(0, 0, 2, 2), [Shape(10, 10, 3)], Shape(8, 8, 4))
+        assert rect == Rect(0, 0, 4, 4)
+
+    def test_region_valid_stride2(self):
+        op = Conv2D("c", ["x"], out_channels=4, kernel=(3, 3), strides=(2, 2),
+                    padding="valid")
+        [rect] = op.input_regions(Rect(1, 1, 3, 3), [Shape(9, 9, 3)], Shape(4, 4, 4))
+        # rows [1*2, 2*2+3) = [2, 7)
+        assert rect == Rect(2, 2, 7, 7)
+
+    def test_region_same_accounts_for_implicit_pad(self):
+        op = Conv2D("c", ["x"], out_channels=4, kernel=(3, 3), padding="same")
+        [rect] = op.input_regions(Rect(0, 0, 1, 1), [Shape(8, 8, 3)], Shape(8, 8, 4))
+        # window at (0,0) reads padded rows [-1, 2) -> clipped [0, 2)
+        assert rect == Rect(0, 0, 2, 2)
+
+    def test_region_empty(self):
+        op = Conv2D("c", ["x"], out_channels=4, kernel=(3, 3))
+        [rect] = op.input_regions(Rect.empty(), [Shape(8, 8, 3)], Shape(8, 8, 4))
+        assert rect.is_empty()
+
+    def test_kernel_matrix_shape(self):
+        op = Conv2D("c", ["x"], out_channels=512, kernel=(3, 3))
+        assert op.kernel_matrix_shape(256) == (2304, 512)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(OpError):
+            Conv2D("c", ["x"], out_channels=0)
+        with pytest.raises(OpError):
+            Conv2D("c", ["x"], out_channels=4, kernel=(0, 3))
+        with pytest.raises(OpError):
+            Conv2D("c", ["x"], out_channels=4, padding="weird")
+
+
+class TestDense:
+    def test_shape(self):
+        op = Dense("d", ["x"], units=10)
+        assert op.infer_shape([Shape(1, 1, 64)]) == Shape(1, 1, 10)
+
+    def test_rejects_unflattened_input(self):
+        op = Dense("d", ["x"], units=10)
+        with pytest.raises(OpError):
+            op.infer_shape([Shape(2, 2, 16)])
+
+    def test_region_is_full_input(self):
+        op = Dense("d", ["x"], units=10)
+        [rect] = op.input_regions(Rect(0, 0, 1, 1), [Shape(1, 1, 64)], Shape(1, 1, 10))
+        assert rect == Rect(0, 0, 1, 1)
+
+    def test_is_base(self):
+        assert Dense("d", ["x"], units=1).is_base
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            BatchNorm("bn", ["x"]),
+            BiasAdd("b", ["x"]),
+            Activation("a", ["x"], kind="relu"),
+            Identity("i", ["x"]),
+        ],
+    )
+    def test_shape_preserved(self, op):
+        assert op.infer_shape([Shape(5, 6, 7)]) == Shape(5, 6, 7)
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            BatchNorm("bn", ["x"]),
+            BiasAdd("b", ["x"]),
+            Activation("a", ["x"], kind="leaky_relu"),
+            Identity("i", ["x"]),
+        ],
+    )
+    def test_region_identity(self, op):
+        rect = Rect(1, 2, 3, 4)
+        assert op.input_regions(rect, [Shape(5, 6, 7)], Shape(5, 6, 7)) == [rect]
+
+    def test_activation_rejects_unknown_kind(self):
+        with pytest.raises(OpError):
+            Activation("a", ["x"], kind="swishish")
+
+
+class TestPad:
+    def test_shape(self):
+        op = Pad("p", ["x"], pad_top=1, pad_bottom=2, pad_left=3, pad_right=4)
+        assert op.infer_shape([Shape(10, 10, 3)]) == Shape(13, 17, 3)
+
+    def test_region_shifts_and_clips(self):
+        op = Pad("p", ["x"], pad_top=1, pad_bottom=1, pad_left=1, pad_right=1)
+        # Output rect overlapping the padded border maps to a clipped
+        # input rect.
+        [rect] = op.input_regions(Rect(0, 0, 3, 3), [Shape(4, 4, 3)], Shape(6, 6, 3))
+        assert rect == Rect(0, 0, 2, 2)
+
+    def test_region_pure_padding_is_empty(self):
+        op = Pad("p", ["x"], pad_top=2, pad_bottom=0, pad_left=0, pad_right=0)
+        [rect] = op.input_regions(Rect(0, 0, 2, 4), [Shape(4, 4, 3)], Shape(6, 4, 3))
+        assert rect.is_empty()
+
+    def test_is_identity(self):
+        assert Pad("p", ["x"]).is_identity
+        assert not Pad("p", ["x"], pad_top=1).is_identity
+
+    def test_rejects_negative(self):
+        with pytest.raises(OpError):
+            Pad("p", ["x"], pad_top=-1)
+
+
+class TestPooling:
+    def test_maxpool_shape_valid(self):
+        op = MaxPool("m", ["x"], pool=(2, 2))
+        assert op.infer_shape([Shape(104, 104, 64)]) == Shape(52, 52, 64)
+
+    def test_maxpool_same_stride1(self):
+        """The TinyYOLOv3 size-2 stride-1 SAME pool keeps 13x13."""
+        op = MaxPool("m", ["x"], pool=(2, 2), strides=(1, 1), padding="same")
+        assert op.infer_shape([Shape(13, 13, 512)]) == Shape(13, 13, 512)
+
+    def test_strides_default_to_pool(self):
+        op = MaxPool("m", ["x"], pool=(3, 3))
+        assert op.strides == (3, 3)
+
+    def test_region(self):
+        op = MaxPool("m", ["x"], pool=(2, 2))
+        [rect] = op.input_regions(Rect(0, 0, 1, 1), [Shape(8, 8, 4)], Shape(4, 4, 4))
+        assert rect == Rect(0, 0, 2, 2)
+        [rect] = op.input_regions(Rect(1, 1, 2, 2), [Shape(8, 8, 4)], Shape(4, 4, 4))
+        assert rect == Rect(2, 2, 4, 4)
+
+    def test_avgpool_shape(self):
+        op = AvgPool("a", ["x"], pool=(7, 7))
+        assert op.infer_shape([Shape(7, 7, 512)]) == Shape(1, 1, 512)
+
+    def test_global_avgpool(self):
+        op = GlobalAvgPool("g", ["x"])
+        assert op.infer_shape([Shape(7, 7, 2048)]) == Shape(1, 1, 2048)
+        [rect] = op.input_regions(Rect(0, 0, 1, 1), [Shape(7, 7, 2048)], Shape(1, 1, 2048))
+        assert rect == Rect(0, 0, 7, 7)
+
+
+class TestAddConcat:
+    def test_add_shape(self):
+        op = Add("s", ["a", "b"])
+        assert op.infer_shape([Shape(4, 4, 8), Shape(4, 4, 8)]) == Shape(4, 4, 8)
+
+    def test_add_rejects_mismatch(self):
+        op = Add("s", ["a", "b"])
+        with pytest.raises(OpError):
+            op.infer_shape([Shape(4, 4, 8), Shape(4, 4, 9)])
+
+    def test_add_rejects_single_input(self):
+        op = Add("s", ["a"])
+        with pytest.raises(OpError):
+            op.infer_shape([Shape(4, 4, 8)])
+
+    def test_concat_shape(self):
+        op = Concat("c", ["a", "b"])
+        assert op.infer_shape([Shape(26, 26, 128), Shape(26, 26, 256)]) == Shape(26, 26, 384)
+
+    def test_concat_rejects_spatial_mismatch(self):
+        op = Concat("c", ["a", "b"])
+        with pytest.raises(OpError):
+            op.infer_shape([Shape(26, 26, 128), Shape(13, 13, 128)])
+
+    def test_regions_broadcast_to_all_inputs(self):
+        rect = Rect(0, 0, 2, 2)
+        add = Add("s", ["a", "b", "c"])
+        shapes = [Shape(4, 4, 8)] * 3
+        assert add.input_regions(rect, shapes, Shape(4, 4, 8)) == [rect, rect, rect]
+        concat = Concat("c", ["a", "b"])
+        shapes = [Shape(4, 4, 8), Shape(4, 4, 16)]
+        assert concat.input_regions(rect, shapes, Shape(4, 4, 24)) == [rect, rect]
+
+
+class TestSlice:
+    def test_channel_slice_shape(self):
+        op = Slice("s", ["x"], offsets=(0, 0, 32), sizes=(-1, -1, 32))
+        assert op.infer_shape([Shape(104, 104, 64)]) == Shape(104, 104, 32)
+
+    def test_spatial_slice_shape(self):
+        op = Slice("s", ["x"], offsets=(10, 0, 0), sizes=(20, -1, -1))
+        assert op.infer_shape([Shape(100, 50, 3)]) == Shape(20, 50, 3)
+
+    def test_region_shifts(self):
+        op = Slice("s", ["x"], offsets=(10, 5, 0), sizes=(20, 20, -1))
+        [rect] = op.input_regions(Rect(0, 0, 4, 4), [Shape(100, 50, 3)], Shape(20, 20, 3))
+        assert rect == Rect(10, 5, 14, 9)
+
+    def test_rejects_out_of_bounds(self):
+        op = Slice("s", ["x"], offsets=(95, 0, 0), sizes=(10, -1, -1))
+        with pytest.raises(OpError):
+            op.infer_shape([Shape(100, 50, 3)])
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(OpError):
+            Slice("s", ["x"], offsets=(0, 0), sizes=(-1, -1, -1))
+        with pytest.raises(OpError):
+            Slice("s", ["x"], offsets=(0, 0, -1))
+        with pytest.raises(OpError):
+            Slice("s", ["x"], sizes=(0, -1, -1))
+
+
+class TestUpsampleFlatten:
+    def test_upsample_shape(self):
+        op = Upsample("u", ["x"], factor=2)
+        assert op.infer_shape([Shape(13, 13, 128)]) == Shape(26, 26, 128)
+
+    def test_upsample_region(self):
+        op = Upsample("u", ["x"], factor=2)
+        [rect] = op.input_regions(Rect(1, 1, 3, 3), [Shape(13, 13, 128)], Shape(26, 26, 128))
+        # rows [1, 3) of output -> input rows [0, 2)
+        assert rect == Rect(0, 0, 2, 2)
+
+    def test_upsample_region_odd_boundaries(self):
+        op = Upsample("u", ["x"], factor=3)
+        [rect] = op.input_regions(Rect(2, 4, 7, 8), [Shape(10, 10, 1)], Shape(30, 30, 1))
+        assert rect == Rect(0, 1, 3, 3)
+
+    def test_flatten(self):
+        op = Flatten("f", ["x"])
+        assert op.infer_shape([Shape(7, 7, 64)]) == Shape(1, 1, 3136)
+        [rect] = op.input_regions(Rect(0, 0, 1, 1), [Shape(7, 7, 64)], Shape(1, 1, 3136))
+        assert rect == Rect(0, 0, 7, 7)

@@ -1,0 +1,132 @@
+"""Unit tests for graph JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder, dumps, graph_to_dict, loads
+from repro.ir.serialize import op_from_dict, op_to_dict
+
+
+def example_graph():
+    b = GraphBuilder("serialize-me")
+    x = b.input((16, 16, 3), name="in")
+    c = b.conv_bn_act(x, 8, kernel=3, strides=2, activation="leaky_relu")
+    p = b.maxpool(c, 2)
+    c2 = b.conv2d(p, 4, kernel=1, padding="valid", use_bias=True)
+    b.concat([b.upsample(c2, 2), c])
+    return b.graph
+
+
+class TestRoundTrip:
+    def test_structure_round_trips(self):
+        g = example_graph()
+        clone = loads(dumps(g))
+        assert clone.name == g.name
+        assert clone.node_names() == g.topological_order()
+        for name in g.node_names():
+            original = g[name]
+            restored = clone[name]
+            assert restored.op_type == original.op_type
+            assert restored.inputs == original.inputs
+
+    def test_shapes_round_trip(self):
+        g = example_graph()
+        clone = loads(dumps(g))
+        assert clone.infer_shapes() == g.infer_shapes()
+
+    def test_params_excluded_by_default(self):
+        g = example_graph()
+        g.initialize_weights(seed=1)
+        clone = loads(dumps(g))
+        assert clone["conv2d"].weights is None
+
+    def test_params_included_on_request(self):
+        g = example_graph()
+        g.initialize_weights(seed=1)
+        clone = loads(dumps(g, include_params=True))
+        np.testing.assert_allclose(clone["conv2d"].weights, g["conv2d"].weights)
+        np.testing.assert_allclose(
+            clone["batch_normalization"].gamma, g["batch_normalization"].gamma
+        )
+
+    def test_functional_equivalence_with_params(self):
+        from repro.ir import Executor
+
+        g = example_graph()
+        g.initialize_weights(seed=2)
+        clone = loads(dumps(g, include_params=True))
+        image = np.random.default_rng(0).normal(size=(16, 16, 3))
+        out1 = Executor(g).run(image)
+        out2 = Executor(clone).run(image)
+        for key in out1:
+            np.testing.assert_allclose(out1[key], out2[key], atol=1e-12)
+
+    def test_save_load_file(self, tmp_path):
+        from repro.ir import load, save
+
+        g = example_graph()
+        path = tmp_path / "graph.json"
+        save(g, str(path))
+        clone = load(str(path))
+        assert clone.infer_shapes() == g.infer_shapes()
+
+
+class TestErrors:
+    def test_unknown_op_type(self):
+        with pytest.raises(ValueError, match="unknown op type"):
+            op_from_dict({"type": "Warp", "name": "w", "inputs": []})
+
+    def test_unknown_attribute(self):
+        record = {"type": "Identity", "name": "i", "inputs": ["x"],
+                  "attrs": {"bogus": 1}}
+        with pytest.raises(ValueError, match="no attribute"):
+            op_from_dict(record)
+
+    def test_bad_format_version(self):
+        with pytest.raises(ValueError, match="format version"):
+            loads('{"format_version": 99, "name": "x", "nodes": []}')
+
+    def test_op_to_dict_skips_is_base(self):
+        g = example_graph()
+        record = op_to_dict(g["conv2d"])
+        assert "is_base" not in record["attrs"]
+
+    def test_graph_to_dict_topological(self):
+        g = example_graph()
+        record = graph_to_dict(g)
+        names = [node["name"] for node in record["nodes"]]
+        assert names == g.topological_order()
+
+
+class TestConcatSpatialRoundTrip:
+    def test_width_axis_round_trips(self):
+        from repro.ir import ConcatSpatial, Graph, Input, Shape, Slice
+
+        g = Graph("spatial")
+        g.add(Input("in", [], shape=Shape(4, 6, 2)))
+        g.add(Slice("left", ["in"], offsets=(0, 0, 0), sizes=(-1, 3, -1)))
+        g.add(Slice("right", ["in"], offsets=(0, 3, 0), sizes=(-1, 3, -1)))
+        g.add(ConcatSpatial("cat", ["left", "right"], axis="width"))
+        clone = loads(dumps(g))
+        assert clone["cat"].axis == "width"
+        assert clone.infer_shapes() == g.infer_shapes()
+
+    def test_duplicated_graph_round_trips(self):
+        """A full wdup-rewritten graph survives serialization."""
+        from repro.arch import CrossbarSpec, paper_case_study
+        from repro.core import ScheduleOptions, compile_model
+        from repro.frontend import preprocess
+        from repro.mapping import minimum_pe_requirement
+        from repro.models import tiny_sequential
+
+        canonical = preprocess(tiny_sequential(), quantization=None).graph
+        min_pes = minimum_pe_requirement(canonical, CrossbarSpec())
+        compiled = compile_model(
+            canonical,
+            paper_case_study(min_pes + 4),
+            ScheduleOptions(mapping="wdup"),
+            assume_canonical=True,
+        )
+        clone = loads(dumps(compiled.mapped))
+        assert clone.infer_shapes() == compiled.mapped.infer_shapes()
+        assert clone.base_layers() == compiled.mapped.base_layers()

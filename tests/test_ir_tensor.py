@@ -1,0 +1,183 @@
+"""Unit tests for repro.ir.tensor: Shape, Rect and tiling helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import Rect, Shape, rect_grid, split_extent
+
+
+class TestShape:
+    def test_basic_properties(self):
+        shape = Shape(4, 5, 3)
+        assert shape.hwc == (4, 5, 3)
+        assert shape.num_elements == 60
+        assert shape.spatial_size == 20
+
+    def test_from_tuple(self):
+        assert Shape.from_tuple([7, 8, 9]) == Shape(7, 8, 9)
+
+    def test_from_tuple_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Shape.from_tuple((1, 2))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Shape(0, 1, 1)
+        with pytest.raises(ValueError):
+            Shape(1, -2, 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Shape(1.5, 2, 3)
+
+    def test_with_channels(self):
+        assert Shape(2, 3, 4).with_channels(9) == Shape(2, 3, 9)
+
+    def test_full_rect(self):
+        assert Shape(4, 6, 1).full_rect() == Rect(0, 0, 4, 6)
+
+    def test_str(self):
+        assert str(Shape(208, 208, 32)) == "(208, 208, 32)"
+
+    def test_equality_and_hash(self):
+        assert Shape(1, 2, 3) == Shape(1, 2, 3)
+        assert hash(Shape(1, 2, 3)) == hash(Shape(1, 2, 3))
+        assert Shape(1, 2, 3) != Shape(1, 2, 4)
+
+
+class TestRect:
+    def test_dimensions(self):
+        rect = Rect(1, 2, 4, 7)
+        assert rect.rows == 3
+        assert rect.cols == 5
+        assert rect.area == 15
+        assert not rect.is_empty()
+
+    def test_empty(self):
+        assert Rect(3, 3, 3, 5).is_empty()
+        assert Rect(3, 3, 2, 5).is_empty()
+        assert Rect.empty().area == 0
+
+    def test_negative_extent_clamps_to_zero(self):
+        rect = Rect(5, 5, 2, 2)
+        assert rect.rows == 0
+        assert rect.cols == 0
+        assert rect.area == 0
+
+    def test_intersect(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersect(b) == Rect(2, 2, 4, 4)
+        assert a.intersects(b)
+
+    def test_disjoint_intersection_is_empty(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 2, 4, 4)
+        assert a.intersect(b).is_empty()
+        assert not a.intersects(b)
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 3, 4, 5))
+        assert outer.contains(outer)
+        assert not outer.contains(Rect(5, 5, 11, 6))
+        assert outer.contains(Rect.empty())  # empty is contained anywhere
+
+    def test_contains_point(self):
+        rect = Rect(1, 1, 3, 3)
+        assert rect.contains_point(1, 1)
+        assert rect.contains_point(2, 2)
+        assert not rect.contains_point(3, 3)
+
+    def test_clip(self):
+        assert Rect(-2, -3, 12, 13).clip(10, 10) == Rect(0, 0, 10, 10)
+        assert Rect(2, 2, 5, 5).clip(10, 10) == Rect(2, 2, 5, 5)
+
+    def test_shift(self):
+        assert Rect(1, 1, 2, 2).shift(3, -1) == Rect(4, 0, 5, 1)
+
+    def test_union_bbox(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 5, 6, 8)
+        assert a.union_bbox(b) == Rect(0, 0, 6, 8)
+        assert Rect.empty().union_bbox(b) == b
+        assert a.union_bbox(Rect(0, 0, 0, 0)) == a
+
+    def test_positions(self):
+        rect = Rect(0, 0, 2, 2)
+        assert list(rect.positions()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_str(self):
+        assert str(Rect(0, 1, 2, 3)) == "[0:2, 1:3]"
+
+
+class TestRectGrid:
+    def test_exact_tiling(self):
+        tiles = rect_grid(4, 4, 2, 2)
+        assert len(tiles) == 4
+        assert sum(t.area for t in tiles) == 16
+
+    def test_ragged_tiling(self):
+        tiles = rect_grid(5, 7, 2, 3)
+        assert sum(t.area for t in tiles) == 35
+        # all tiles within bounds
+        bounds = Rect(0, 0, 5, 7)
+        assert all(bounds.contains(t) for t in tiles)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            rect_grid(0, 4, 1, 1)
+        with pytest.raises(ValueError):
+            rect_grid(4, 4, 0, 1)
+
+    @given(
+        height=st.integers(1, 40),
+        width=st.integers(1, 40),
+        tile_rows=st.integers(1, 12),
+        tile_cols=st.integers(1, 12),
+    )
+    def test_property_partition(self, height, width, tile_rows, tile_cols):
+        """Tiles are disjoint and cover the full map exactly."""
+        tiles = rect_grid(height, width, tile_rows, tile_cols)
+        assert sum(t.area for t in tiles) == height * width
+        for i, a in enumerate(tiles):
+            assert not a.is_empty()
+            for b in tiles[i + 1 :]:
+                assert not a.intersects(b)
+
+
+class TestSplitExtent:
+    def test_even_split(self):
+        assert split_extent(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split(self):
+        parts = split_extent(10, 3)
+        assert parts == [(0, 4), (4, 7), (7, 10)]
+
+    def test_single_part(self):
+        assert split_extent(7, 1) == [(0, 7)]
+
+    def test_rejects_too_many_parts(self):
+        with pytest.raises(ValueError):
+            split_extent(2, 3)
+
+    def test_rejects_non_positive_parts(self):
+        with pytest.raises(ValueError):
+            split_extent(5, 0)
+
+    @given(extent=st.integers(1, 500), parts=st.integers(1, 50))
+    def test_property_balanced_cover(self, extent, parts):
+        """Parts are contiguous, cover [0, extent), sizes differ <= 1."""
+        if parts > extent:
+            with pytest.raises(ValueError):
+                split_extent(extent, parts)
+            return
+        ranges = split_extent(extent, parts)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == extent
+        sizes = [b - a for a, b in ranges]
+        assert all(s >= 1 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start

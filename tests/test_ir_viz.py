@@ -1,0 +1,51 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.ir import GraphBuilder, save_dot, to_dot
+
+
+def small_graph():
+    b = GraphBuilder("viz")
+    x = b.input((8, 8, 3), name="in")
+    c = b.conv2d(x, 4, name="conv")
+    b.relu(c, name="act")
+    return b.graph
+
+
+class TestToDot:
+    def test_structure(self):
+        dot = to_dot(small_graph())
+        assert dot.startswith('digraph "viz"')
+        assert dot.rstrip().endswith("}")
+        assert '"in" -> "conv"' in dot
+        assert '"conv" -> "act"' in dot
+
+    def test_node_styling(self):
+        dot = to_dot(small_graph())
+        # base layer green box, non-base blue ellipse, input parallelogram
+        assert "#c6e2b5" in dot
+        assert "#bcd6ec" in dot
+        assert "parallelogram" in dot
+
+    def test_shapes_toggle(self):
+        with_shapes = to_dot(small_graph(), include_shapes=True)
+        without = to_dot(small_graph(), include_shapes=False)
+        assert "(8, 8, 4)" in with_shapes
+        assert "(8, 8, 4)" not in without
+
+    def test_quote_escaping(self):
+        b = GraphBuilder('na"me')
+        b.input((1, 1, 1), name="in")
+        dot = to_dot(b.graph)
+        assert 'digraph "na\\"me"' in dot
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "graph.dot"
+        save_dot(small_graph(), str(path))
+        text = path.read_text()
+        assert text.startswith("digraph")
+
+    def test_every_node_present(self):
+        g = small_graph()
+        dot = to_dot(g)
+        for name in g.node_names():
+            assert f'"{name}"' in dot

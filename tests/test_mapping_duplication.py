@@ -1,0 +1,215 @@
+"""Unit and property tests for the weight-duplication optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import (
+    DuplicationError,
+    DuplicationProblem,
+    continuous_lower_bound,
+    problem_from_tilings,
+    solve,
+    solve_dp,
+    solve_greedy,
+)
+
+
+def make_problem(t, c, budget, d_max=None):
+    n = len(t)
+    layers = tuple(f"layer{i}" for i in range(n))
+    return DuplicationProblem(
+        layers=layers,
+        t=tuple(t),
+        c=tuple(c),
+        budget=budget,
+        d_max=tuple(d_max) if d_max else tuple(10**6 for _ in range(n)),
+    )
+
+
+class TestProblem:
+    def test_base_cost_and_extra(self):
+        problem = make_problem([100, 50], [2, 3], budget=9)
+        assert problem.base_cost == 5
+        assert problem.extra_budget == 4
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(DuplicationError, match="infeasible"):
+            make_problem([100], [10], budget=9)
+
+    def test_validation(self):
+        with pytest.raises(DuplicationError):
+            make_problem([], [], budget=5)
+        with pytest.raises(DuplicationError):
+            make_problem([0], [1], budget=5)
+        with pytest.raises(DuplicationError):
+            make_problem([10], [0], budget=5)
+        with pytest.raises(DuplicationError):
+            DuplicationProblem(("a",), (10,), (1,), 5, (0,))
+
+
+class TestGreedy:
+    def test_single_layer_uses_whole_budget(self):
+        problem = make_problem([100], [1], budget=5)
+        solution = solve_greedy(problem)
+        assert solution.d == {"layer0": 5}
+        assert solution.objective == pytest.approx(20.0)
+
+    def test_prefers_high_latency_low_cost(self):
+        # layer0: huge latency, cheap; layer1: small latency, expensive
+        problem = make_problem([1000, 10], [1, 5], budget=8)
+        solution = solve_greedy(problem)
+        assert solution.d["layer0"] == 3  # both extra PEs go to layer0
+        assert solution.d["layer1"] == 1
+
+    def test_respects_budget(self):
+        problem = make_problem([100, 200, 300], [2, 3, 4], budget=20)
+        solution = solve_greedy(problem)
+        assert solution.pes_used <= 20
+
+    def test_respects_d_max(self):
+        problem = make_problem([1000], [1], budget=100, d_max=[3])
+        solution = solve_greedy(problem)
+        assert solution.d["layer0"] == 3
+
+    def test_no_extra_budget_all_ones(self):
+        problem = make_problem([10, 20], [2, 2], budget=4)
+        solution = solve_greedy(problem)
+        assert set(solution.d.values()) == {1}
+        assert solution.duplicated_layers == []
+
+    def test_speedup_metric(self):
+        problem = make_problem([100], [1], budget=4)
+        solution = solve_greedy(problem)
+        assert solution.speedup_layer_by_layer() == pytest.approx(4.0)
+
+
+class TestDp:
+    def test_matches_greedy_on_uniform_costs(self):
+        """With unit costs the greedy is provably optimal; DP must agree."""
+        problem = make_problem([100, 70, 30], [1, 1, 1], budget=9)
+        assert solve_dp(problem).objective == pytest.approx(
+            solve_greedy(problem).objective
+        )
+
+    def test_beats_or_matches_greedy_generally(self):
+        problem = make_problem([100, 99], [3, 2], budget=10)
+        dp_obj = solve_dp(problem).objective
+        greedy_obj = solve_greedy(problem).objective
+        assert dp_obj <= greedy_obj + 1e-9
+
+    def test_case_where_greedy_is_suboptimal(self):
+        """A crafted instance where ratio-greedy strands budget.
+
+        Extra budget 3: greedy buys the cheap high-ratio item (cost 2),
+        then cannot afford anything (leftover 1); DP buys cost 3.
+        """
+        problem = make_problem([60, 60], [2, 3], budget=8)
+        greedy = solve_greedy(problem)
+        dp = solve_dp(problem)
+        assert dp.objective <= greedy.objective
+
+    def test_respects_d_max(self):
+        problem = make_problem([1000, 10], [1, 1], budget=100, d_max=[2, 3])
+        solution = solve_dp(problem)
+        assert solution.d["layer0"] <= 2
+        assert solution.d["layer1"] <= 3
+
+    def test_solve_dispatch(self):
+        problem = make_problem([100], [1], budget=3)
+        assert solve(problem, "greedy").method == "greedy"
+        assert solve(problem, "dp").method == "dp"
+        with pytest.raises(DuplicationError):
+            solve(problem, "annealing")
+
+
+class TestLowerBound:
+    def test_bound_below_integer_optimum(self):
+        problem = make_problem([100, 70, 30], [2, 3, 1], budget=15)
+        bound = continuous_lower_bound(problem)
+        assert bound <= solve_dp(problem).objective + 1e-9
+
+    def test_bound_tight_when_caps_reached(self):
+        problem = make_problem([100], [1], budget=1000, d_max=[4])
+        assert continuous_lower_bound(problem) == pytest.approx(25.0)
+
+    def test_bound_with_binding_budget(self):
+        # continuous optimum: d = budget/c for a single layer
+        problem = make_problem([100], [2], budget=10)
+        assert continuous_lower_bound(problem) == pytest.approx(100 / 5, rel=1e-6)
+
+
+@st.composite
+def random_problems(draw):
+    n = draw(st.integers(1, 6))
+    t = [draw(st.integers(1, 500)) for _ in range(n)]
+    c = [draw(st.integers(1, 8)) for _ in range(n)]
+    extra = draw(st.integers(0, 25))
+    d_max = [draw(st.integers(1, 6)) for _ in range(n)]
+    return make_problem(t, c, budget=sum(c) + extra, d_max=d_max)
+
+
+class TestProperties:
+    @settings(max_examples=120)
+    @given(problem=random_problems())
+    def test_dp_never_worse_than_greedy(self, problem):
+        assert solve_dp(problem).objective <= solve_greedy(problem).objective + 1e-9
+
+    @settings(max_examples=120)
+    @given(problem=random_problems())
+    def test_solutions_feasible(self, problem):
+        for solver in (solve_greedy, solve_dp):
+            solution = solver(problem)
+            assert solution.pes_used <= problem.budget
+            for name, factor in solution.d.items():
+                index = problem.layers.index(name)
+                assert 1 <= factor <= problem.d_max[index]
+
+    @settings(max_examples=120)
+    @given(problem=random_problems())
+    def test_continuous_bound_is_lower_bound(self, problem):
+        bound = continuous_lower_bound(problem)
+        assert bound <= solve_dp(problem).objective + 1e-6
+
+    @settings(max_examples=60)
+    @given(problem=random_problems(), extra=st.integers(1, 10))
+    def test_more_budget_never_hurts(self, problem, extra):
+        richer = DuplicationProblem(
+            layers=problem.layers,
+            t=problem.t,
+            c=problem.c,
+            budget=problem.budget + extra,
+            d_max=problem.d_max,
+        )
+        assert solve_dp(richer).objective <= solve_dp(problem).objective + 1e-9
+
+
+class TestFromTilings:
+    def test_problem_built_from_tilings(self):
+        from repro.arch import CrossbarSpec
+        from repro.ir import GraphBuilder
+        from repro.mapping import tile_graph
+
+        b = GraphBuilder("net")
+        x = b.input((16, 16, 3), name="in")
+        c1 = b.conv2d(x, 8, kernel=3, padding="valid", use_bias=False, name="c1")
+        b.conv2d(c1, 8, kernel=3, padding="valid", use_bias=False, name="c2")
+        tilings = tile_graph(b.graph, CrossbarSpec())
+        problem = problem_from_tilings(tilings, budget=10)
+        assert problem.layers == ("c1", "c2")
+        assert problem.t == (14 * 14, 12 * 12)
+        assert problem.c == (1, 1)
+        # d_max defaults to the OFM height
+        assert problem.d_max == (14, 12)
+
+    def test_d_max_cap_applied(self):
+        from repro.arch import CrossbarSpec
+        from repro.ir import GraphBuilder
+        from repro.mapping import tile_graph
+
+        b = GraphBuilder("net")
+        x = b.input((16, 16, 3), name="in")
+        b.conv2d(x, 8, kernel=3, padding="valid", use_bias=False, name="c1")
+        tilings = tile_graph(b.graph, CrossbarSpec())
+        problem = problem_from_tilings(tilings, budget=10, d_max_cap=4)
+        assert problem.d_max == (4,)

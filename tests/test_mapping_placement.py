@@ -1,0 +1,55 @@
+"""Tests for static PE/tile placement."""
+
+import pytest
+
+from repro.arch import ArchitectureConfig, TileSpec, paper_case_study
+from repro.ir import GraphBuilder
+from repro.mapping import PlacementError, place_graph
+
+
+def three_layer_net():
+    b = GraphBuilder("net")
+    x = b.input((32, 32, 3), name="in")
+    c1 = b.conv2d(x, 64, kernel=3, padding="valid", use_bias=False, name="c1")   # 1 PE
+    c2 = b.conv2d(c1, 512, kernel=3, padding="valid", use_bias=False, name="c2")  # 6 PEs
+    b.conv2d(c2, 64, kernel=1, padding="valid", use_bias=False, name="c3")        # 2 PEs
+    return b.graph
+
+
+class TestPlacement:
+    def test_consecutive_packing(self):
+        placement = place_graph(three_layer_net(), paper_case_study(16))
+        assert placement.pe_ranges["c1"] == (0, 1)
+        assert placement.pe_ranges["c2"] == (1, 7)
+        assert placement.pe_ranges["c3"] == (7, 9)
+        assert placement.pes_used == 9
+
+    def test_pes_of(self):
+        placement = place_graph(three_layer_net(), paper_case_study(16))
+        assert placement.pes_of("c2") == [1, 2, 3, 4, 5, 6]
+
+    def test_tiles_one_pe_per_tile(self):
+        placement = place_graph(three_layer_net(), paper_case_study(16))
+        assert placement.tiles_of("c2") == [1, 2, 3, 4, 5, 6]
+
+    def test_tiles_multi_pe_per_tile(self):
+        arch = ArchitectureConfig(num_pes=16, tile=TileSpec(pes_per_tile=4))
+        placement = place_graph(three_layer_net(), arch)
+        assert placement.tiles_of("c2") == [0, 1]  # PEs 1..6 span tiles 0 and 1
+
+    def test_layer_of_pe(self):
+        placement = place_graph(three_layer_net(), paper_case_study(16))
+        assert placement.layer_of_pe(0) == "c1"
+        assert placement.layer_of_pe(3) == "c2"
+        assert placement.layer_of_pe(8) == "c3"
+        assert placement.layer_of_pe(12) is None  # idle PE
+
+    def test_insufficient_pes_raises(self):
+        with pytest.raises(PlacementError, match="needs 9 PEs"):
+            place_graph(three_layer_net(), paper_case_study(8))
+
+    def test_summary(self):
+        placement = place_graph(three_layer_net(), paper_case_study(16))
+        text = placement.summary()
+        assert "9/16 PEs used" in text
+        assert "c2" in text

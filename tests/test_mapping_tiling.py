@@ -1,0 +1,109 @@
+"""Unit tests for im2col lowering and Eq. 1 PE tiling."""
+
+import pytest
+
+from repro.arch import CrossbarSpec
+from repro.ir import GraphBuilder
+from repro.mapping import (
+    layer_table,
+    lower_graph,
+    lower_layer,
+    minimum_pe_requirement,
+    tile_graph,
+)
+
+
+def small_net():
+    b = GraphBuilder("net")
+    x = b.input((32, 32, 3), name="in")
+    c1 = b.conv2d(x, 64, kernel=3, padding="valid", use_bias=False, name="c1")
+    c2 = b.conv2d(c1, 512, kernel=3, padding="valid", use_bias=False, name="c2")
+    p = b.maxpool(c2, 2, name="pool")
+    f = b.flatten(b.global_avgpool(p))
+    b.dense(f, 300, use_bias=False, name="fc")
+    return b.graph
+
+
+class TestLowering:
+    def test_conv_lowering(self):
+        g = small_net()
+        lowering = lower_layer(g, "c1")
+        assert lowering.kernel_rows == 3 * 3 * 3
+        assert lowering.kernel_cols == 64
+        assert lowering.num_mvms == 30 * 30
+        assert lowering.ofm_shape.hwc == (30, 30, 64)
+
+    def test_second_conv_sees_64_channels(self):
+        g = small_net()
+        lowering = lower_layer(g, "c2")
+        assert lowering.kernel_rows == 3 * 3 * 64
+        assert lowering.kernel_cols == 512
+
+    def test_dense_lowering(self):
+        g = small_net()
+        lowering = lower_layer(g, "fc")
+        assert lowering.kernel_rows == 512
+        assert lowering.kernel_cols == 300
+        assert lowering.num_mvms == 1
+
+    def test_macs_and_weights(self):
+        g = small_net()
+        lowering = lower_layer(g, "c1")
+        assert lowering.weight_elements == 27 * 64
+        assert lowering.macs == 27 * 64 * 900
+
+    def test_non_base_layer_rejected(self):
+        g = small_net()
+        with pytest.raises(ValueError, match="not a base layer"):
+            lower_layer(g, "pool")
+
+    def test_lower_graph_covers_all_base_layers(self):
+        g = small_net()
+        lowerings = lower_graph(g)
+        assert set(lowerings) == {"c1", "c2", "fc"}
+
+
+class TestTiling:
+    def test_eq1_grid(self):
+        g = small_net()
+        tilings = tile_graph(g, CrossbarSpec(rows=256, cols=256))
+        # c1: 27 rows, 64 cols -> 1x1
+        assert tilings["c1"].pe_grid == (1, 1)
+        assert tilings["c1"].num_pes == 1
+        # c2: 576 rows, 512 cols -> 3x2
+        assert tilings["c2"].pe_grid == (3, 2)
+        assert tilings["c2"].num_pes == 6
+        # fc: 512 rows, 300 cols -> 2x2
+        assert tilings["fc"].num_pes == 4
+
+    def test_latency_is_ofm_spatial_size(self):
+        g = small_net()
+        tilings = tile_graph(g, CrossbarSpec())
+        assert tilings["c1"].latency_cycles == 900
+        assert tilings["c2"].latency_cycles == 28 * 28
+        assert tilings["fc"].latency_cycles == 1
+
+    def test_utilization_share(self):
+        g = small_net()
+        tilings = tile_graph(g, CrossbarSpec())
+        assert tilings["c2"].utilization_share() == 6 * 784
+
+    def test_minimum_pe_requirement(self):
+        g = small_net()
+        assert minimum_pe_requirement(g, CrossbarSpec()) == 1 + 6 + 4
+
+    def test_smaller_crossbars_need_more_pes(self):
+        g = small_net()
+        big = minimum_pe_requirement(g, CrossbarSpec(rows=256, cols=256))
+        small = minimum_pe_requirement(g, CrossbarSpec(rows=64, cols=64))
+        assert small > big
+
+    def test_layer_table_rows(self):
+        g = small_net()
+        rows = layer_table(g, CrossbarSpec())
+        assert [row["layer"] for row in rows] == ["c1", "c2", "fc"]
+        first = rows[0]
+        assert first["ifm"] == (32, 32, 3)
+        assert first["ofm"] == (30, 30, 64)
+        assert first["num_pes"] == 1
+        assert first["cycles"] == 900

@@ -1,0 +1,206 @@
+"""Tests for the darknet .cfg importer."""
+
+import pytest
+
+from repro.arch import CrossbarSpec
+from repro.frontend import preprocess
+from repro.mapping import layer_table, minimum_pe_requirement
+from repro.models import (
+    DarknetError,
+    load_cfg,
+    parse_cfg,
+    tiny_yolo_v3,
+    tiny_yolo_v3_from_cfg,
+    tiny_yolo_v4,
+    tiny_yolo_v4_from_cfg,
+)
+
+MINI_CFG = """
+[net]
+width=32
+height=32
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=2
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=16
+size=1
+stride=1
+pad=1
+activation=linear
+"""
+
+
+class TestParser:
+    def test_sections(self):
+        sections = parse_cfg(MINI_CFG)
+        assert [s.name for s in sections] == ["net", "convolutional", "maxpool",
+                                              "convolutional"]
+        assert sections[1].get_int("filters") == 8
+        assert sections[1].get_str("activation") == "leaky"
+
+    def test_comments_stripped(self):
+        sections = parse_cfg("# leading comment\n[net]\nwidth=4 # trailing\nheight=4\nchannels=1\n")
+        assert sections[0].get_int("width") == 4
+
+    def test_rejects_option_before_section(self):
+        with pytest.raises(DarknetError, match="before any"):
+            parse_cfg("width=4\n[net]\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(DarknetError, match="empty"):
+            parse_cfg("\n# nothing\n")
+
+    def test_rejects_missing_net(self):
+        with pytest.raises(DarknetError, match="must start with"):
+            parse_cfg("[convolutional]\nfilters=4\n")
+
+    def test_rejects_garbage_line(self):
+        with pytest.raises(DarknetError, match="cannot parse"):
+            parse_cfg("[net]\nwidth 4\n")
+
+    def test_missing_required_key(self):
+        sections = parse_cfg("[net]\nwidth=4\nheight=4\nchannels=1\n[convolutional]\nsize=3\n")
+        with pytest.raises(DarknetError, match="filters"):
+            load_cfg("[net]\nwidth=4\nheight=4\nchannels=1\n[convolutional]\nsize=3\n")
+        assert sections  # parser itself is fine
+
+
+class TestBuilder:
+    def test_mini_model(self):
+        g = load_cfg(MINI_CFG, name="mini")
+        shapes = g.infer_shapes()
+        out = g.output_names()[0]
+        assert shapes[out].hwc == (8, 8, 16)
+        assert len(g.base_layers()) == 2
+        # BN only on the first conv
+        bn_nodes = [op for op in g if op.op_type == "BatchNorm"]
+        assert len(bn_nodes) == 1
+
+    def test_bias_follows_batch_normalize(self):
+        g = load_cfg(MINI_CFG)
+        convs = [g[name] for name in g.base_layers()]
+        assert not convs[0].use_bias  # BN conv: no bias
+        assert convs[1].use_bias      # plain conv: bias
+
+    def test_route_groups_slice(self):
+        cfg = """
+[net]
+width=8
+height=8
+channels=4
+
+[convolutional]
+filters=8
+size=1
+stride=1
+pad=1
+activation=linear
+
+[route]
+layers=-1
+groups=2
+group_id=1
+"""
+        g = load_cfg(cfg)
+        out = g.output_names()[0]
+        assert g.shape_of(out).channels == 4
+        slice_op = g[out]
+        assert slice_op.op_type == "Slice"
+        assert slice_op.offsets == (0, 0, 4)
+
+    def test_route_concat_absolute_and_relative(self):
+        cfg = """
+[net]
+width=8
+height=8
+channels=4
+
+[convolutional]
+filters=8
+size=1
+stride=1
+pad=1
+activation=linear
+
+[convolutional]
+filters=8
+size=1
+stride=1
+pad=1
+activation=linear
+
+[route]
+layers = 0, -1
+"""
+        g = load_cfg(cfg)
+        out = g.output_names()[0]
+        assert g[out].op_type == "Concat"
+        assert g.shape_of(out).channels == 16
+
+    def test_route_out_of_range(self):
+        cfg = """
+[net]
+width=8
+height=8
+channels=4
+
+[route]
+layers = 5
+"""
+        with pytest.raises(DarknetError, match="references layer"):
+            load_cfg(cfg)
+
+    def test_unsupported_section(self):
+        with pytest.raises(DarknetError, match="unsupported section"):
+            load_cfg("[net]\nwidth=4\nheight=4\nchannels=1\n[dropout]\n")
+
+    def test_unsupported_activation(self):
+        cfg = ("[net]\nwidth=4\nheight=4\nchannels=1\n"
+               "[convolutional]\nfilters=2\nactivation=mish\n")
+        with pytest.raises(DarknetError, match="activation"):
+            load_cfg(cfg)
+
+
+class TestOfficialCfgs:
+    """The packaged cfgs must agree with the hand-built zoo models."""
+
+    @pytest.mark.parametrize(
+        "from_cfg, from_zoo, min_pes",
+        [
+            (tiny_yolo_v3_from_cfg, tiny_yolo_v3, 142),
+            (tiny_yolo_v4_from_cfg, tiny_yolo_v4, 117),
+        ],
+        ids=["tinyyolov3", "tinyyolov4"],
+    )
+    def test_cfg_matches_zoo(self, from_cfg, from_zoo, min_pes):
+        cfg_canonical = preprocess(from_cfg(), quantization=None).graph
+        zoo_canonical = preprocess(from_zoo(), quantization=None).graph
+
+        assert minimum_pe_requirement(cfg_canonical, CrossbarSpec()) == min_pes
+        assert len(cfg_canonical.base_layers()) == len(zoo_canonical.base_layers())
+
+        # per-layer geometry identical (same multiset of rows)
+        def rows(graph):
+            return sorted(
+                (row["ifm"], row["ofm"], row["num_pes"], row["cycles"])
+                for row in layer_table(graph, CrossbarSpec())
+            )
+
+        assert rows(cfg_canonical) == rows(zoo_canonical)
+
+    def test_cfg_output_heads(self):
+        g = tiny_yolo_v4_from_cfg()
+        shapes = sorted(g.shape_of(o).hwc for o in g.output_names())
+        assert shapes == [(13, 13, 255), (26, 26, 255)]

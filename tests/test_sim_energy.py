@@ -1,0 +1,79 @@
+"""Tests for the inference energy model."""
+
+import pytest
+
+from repro.arch import CrossbarSpec, paper_case_study
+from repro.core import ScheduleOptions, compile_model
+from repro.frontend import preprocess
+from repro.mapping import minimum_pe_requirement
+from repro.models import tiny_sequential
+from repro.sim import EnergyModelConfig, estimate_energy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = preprocess(tiny_sequential(), quantization=None).graph
+    min_pes = minimum_pe_requirement(g, CrossbarSpec())
+    arch = paper_case_study(min_pes + 8)
+    return g, arch
+
+
+def compile_config(setup, mapping, scheduling):
+    g, arch = setup
+    return compile_model(
+        g, arch, ScheduleOptions(mapping=mapping, scheduling=scheduling),
+        assume_canonical=True,
+    )
+
+
+class TestEnergyModel:
+    def test_breakdown_positive(self, setup):
+        compiled = compile_config(setup, "wdup", "clsa-cim")
+        report = estimate_energy(compiled)
+        assert report.mvm_uj > 0
+        assert report.noc_uj > 0
+        assert report.static_uj > 0
+        assert report.total_uj == pytest.approx(
+            report.mvm_uj + report.noc_uj + report.static_uj
+        )
+
+    def test_mvm_energy_schedule_invariant(self, setup):
+        """Total active PE-cycles are conserved, so MVM energy is too."""
+        a = estimate_energy(compile_config(setup, "none", "clsa-cim"))
+        b = estimate_energy(compile_config(setup, "wdup", "clsa-cim"))
+        assert a.mvm_uj == pytest.approx(b.mvm_uj)
+
+    def test_faster_schedule_saves_static_energy(self, setup):
+        slow = compile_config(setup, "none", "clsa-cim")
+        fast = compile_config(setup, "wdup", "clsa-cim")
+        assert fast.latency_cycles < slow.latency_cycles
+        e_slow = estimate_energy(slow)
+        e_fast = estimate_energy(fast)
+        assert e_fast.static_uj < e_slow.static_uj
+
+    def test_layer_by_layer_has_no_noc_term(self, setup):
+        """Without a set graph, NoC energy cannot be attributed."""
+        compiled = compile_config(setup, "none", "layer-by-layer")
+        report = estimate_energy(compiled)
+        assert report.noc_uj == 0.0
+        assert report.mvm_uj > 0
+
+    def test_coefficients_scale_linearly(self, setup):
+        compiled = compile_config(setup, "none", "clsa-cim")
+        base = estimate_energy(compiled, EnergyModelConfig(mvm_energy_nj=40.0))
+        double = estimate_energy(compiled, EnergyModelConfig(mvm_energy_nj=80.0))
+        assert double.mvm_uj == pytest.approx(2 * base.mvm_uj)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModelConfig(mvm_energy_nj=-1)
+        with pytest.raises(ValueError):
+            EnergyModelConfig(static_power_mw_per_pe=-0.1)
+        with pytest.raises(ValueError):
+            EnergyModelConfig(bytes_per_element=0)
+
+    def test_summary(self, setup):
+        compiled = compile_config(setup, "wdup", "clsa-cim")
+        text = estimate_energy(compiled).summary()
+        assert "uJ" in text
+        assert "wdup+xinf" in text

@@ -1,0 +1,112 @@
+"""Tests for Eq. 2 utilization and Eq. 3 speedup metrics."""
+
+import pytest
+
+from repro.arch import CrossbarSpec, paper_case_study
+from repro.core import ScheduleOptions, compile_model
+from repro.frontend import preprocess
+from repro.mapping import minimum_pe_requirement
+from repro.models import tiny_dual_head, tiny_sequential
+from repro.sim import evaluate, speedup_eq3, utilization
+
+
+def arch_for(graph, extra=8):
+    canonical = preprocess(graph, quantization=None).graph
+    return paper_case_study(minimum_pe_requirement(canonical, CrossbarSpec()) + extra)
+
+
+def compile_config(graph, arch, mapping, scheduling):
+    return compile_model(
+        graph, arch, ScheduleOptions(mapping=mapping, scheduling=scheduling)
+    )
+
+
+class TestUtilization:
+    def test_bounds(self):
+        g = tiny_sequential()
+        arch = arch_for(g)
+        for mapping in ("none", "wdup"):
+            for scheduling in ("layer-by-layer", "clsa-cim"):
+                compiled = compile_config(g, arch, mapping, scheduling)
+                ut = utilization(compiled.schedule, compiled.placement)
+                assert 0.0 < ut <= 1.0
+
+    def test_clsa_cim_improves_utilization(self):
+        g = tiny_sequential()
+        arch = arch_for(g)
+        baseline = evaluate(compile_config(g, arch, "none", "layer-by-layer"))
+        xinf = evaluate(compile_config(g, arch, "none", "clsa-cim"))
+        assert xinf.utilization > baseline.utilization
+
+    def test_single_layer_layer_by_layer(self):
+        """One conv on exactly its PEs: utilization is c/(F) while running."""
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("one")
+        x = b.input((8, 8, 3), name="in")
+        b.conv2d(x, 4, kernel=1, padding="valid", use_bias=False, name="c")
+        arch = paper_case_study(2)
+        compiled = compile_config(b.graph, arch, "none", "layer-by-layer")
+        # 1 PE busy 100% of the time, 1 PE idle -> Ut = 0.5
+        assert utilization(compiled.schedule, compiled.placement) == pytest.approx(0.5)
+
+    def test_active_cycles_invariant(self):
+        g = tiny_dual_head()
+        arch = arch_for(g)
+        totals = {
+            (m, s): evaluate(compile_config(g, arch, m, s)).total_active_pe_cycles
+            for m in ("none", "wdup")
+            for s in ("layer-by-layer", "clsa-cim")
+        }
+        assert len(set(totals.values())) == 1
+
+
+class TestSpeedup:
+    def test_measured_speedup(self):
+        g = tiny_sequential()
+        arch = arch_for(g)
+        baseline = evaluate(compile_config(g, arch, "none", "layer-by-layer"))
+        combo = evaluate(compile_config(g, arch, "wdup", "clsa-cim"))
+        assert combo.speedup_over(baseline) >= 1.0
+
+    def test_eq3_exact_under_latency_model(self):
+        """Eq. 3 equals the measured speedup (total active conserved)."""
+        g = tiny_dual_head()
+        arch = arch_for(g)
+        baseline = evaluate(compile_config(g, arch, "none", "layer-by-layer"))
+        for mapping, scheduling in (
+            ("wdup", "layer-by-layer"),
+            ("none", "clsa-cim"),
+            ("wdup", "clsa-cim"),
+        ):
+            metrics = evaluate(compile_config(g, arch, mapping, scheduling))
+            assert speedup_eq3(metrics, baseline) == pytest.approx(
+                metrics.speedup_over(baseline), rel=1e-9
+            )
+
+    def test_eq3_across_different_pe_counts(self):
+        """Eq. 3 also holds between architectures of different sizes."""
+        g = tiny_sequential()
+        small = arch_for(g, extra=0)
+        large = arch_for(g, extra=12)
+        baseline = evaluate(compile_config(g, small, "none", "layer-by-layer"))
+        combo = evaluate(compile_config(g, large, "wdup", "clsa-cim"))
+        assert speedup_eq3(combo, baseline) == pytest.approx(
+            combo.speedup_over(baseline), rel=1e-9
+        )
+
+    def test_utilization_gain(self):
+        g = tiny_sequential()
+        arch = arch_for(g)
+        baseline = evaluate(compile_config(g, arch, "none", "layer-by-layer"))
+        xinf = evaluate(compile_config(g, arch, "none", "clsa-cim"))
+        assert xinf.utilization_gain_over(baseline) > 1.0
+
+    def test_config_names(self):
+        g = tiny_sequential()
+        arch = arch_for(g)
+        assert evaluate(compile_config(g, arch, "none", "clsa-cim")).config_name == "xinf"
+        assert (
+            evaluate(compile_config(g, arch, "wdup", "clsa-cim")).config_name
+            == "wdup+xinf"
+        )

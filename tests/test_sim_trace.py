@@ -1,0 +1,182 @@
+"""Tests for execution traces and Gantt exports."""
+
+import pytest
+
+from repro.arch import CrossbarSpec, paper_case_study
+from repro.core import ScheduleOptions, compile_model
+from repro.frontend import preprocess
+from repro.mapping import minimum_pe_requirement
+from repro.models import tiny_sequential
+from repro.sim import (
+    activity_records,
+    ascii_gantt,
+    to_csv_rows,
+    utilization,
+    utilization_timeline,
+)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    g = tiny_sequential()
+    canonical = preprocess(g, quantization=None).graph
+    arch = paper_case_study(minimum_pe_requirement(canonical, CrossbarSpec()) + 4)
+    return compile_model(g, arch, ScheduleOptions(mapping="wdup", scheduling="clsa-cim"))
+
+
+class TestActivityRecords:
+    def test_every_layer_covered(self, compiled):
+        records = activity_records(compiled)
+        assert {r.layer for r in records} == set(compiled.schedule.layers())
+
+    def test_busy_time_preserved(self, compiled):
+        records = activity_records(compiled)
+        busy_from_records: dict[str, int] = {}
+        for record in records:
+            busy_from_records[record.layer] = busy_from_records.get(record.layer, 0) + (
+                record.end - record.start
+            )
+        assert busy_from_records == compiled.schedule.busy_cycles()
+
+    def test_origin_mapping(self, compiled):
+        for record in activity_records(compiled):
+            assert record.origin in compiled.canonical.base_layers()
+
+    def test_intervals_merged(self, compiled):
+        """Back-to-back tasks merge into one record."""
+        records = activity_records(compiled)
+        per_layer = {}
+        for record in records:
+            per_layer.setdefault(record.layer, []).append(record)
+        for layer, layer_records in per_layer.items():
+            layer_records.sort(key=lambda r: r.start)
+            for earlier, later in zip(layer_records, layer_records[1:]):
+                assert later.start > earlier.end  # gaps only
+
+
+class TestCsv:
+    def test_header_and_rows(self, compiled):
+        rows = to_csv_rows(compiled)
+        assert rows[0] == "layer,origin,num_pes,start_cycles,end_cycles"
+        assert len(rows) == len(activity_records(compiled)) + 1
+        for line in rows[1:]:
+            parts = line.split(",")
+            assert len(parts) == 5
+            assert int(parts[4]) > int(parts[3])
+
+
+class TestAsciiGantt:
+    def test_contains_all_layers(self, compiled):
+        chart = ascii_gantt(compiled)
+        for layer in compiled.schedule.layers():
+            assert layer[:28] in chart
+
+    def test_mentions_config(self, compiled):
+        assert "wdup+xinf" in ascii_gantt(compiled)
+
+    def test_busy_marks_present(self, compiled):
+        assert "#" in ascii_gantt(compiled)
+
+    def test_empty_schedule(self):
+        from repro.core import CompiledModel, Schedule, ScheduleOptions
+        from repro.mapping import Placement
+
+        empty = CompiledModel(
+            arch=paper_case_study(1),
+            options=ScheduleOptions(),
+            canonical=None,
+            mapped=type("G", (), {"name": "empty"})(),
+            placement=Placement(arch=paper_case_study(1)),
+            schedule=Schedule(policy="clsa-cim"),
+        )
+        assert ascii_gantt(empty) == "(empty schedule)"
+
+
+class TestUtilizationTimeline:
+    def test_bucket_count(self, compiled):
+        timeline = utilization_timeline(compiled, buckets=20)
+        assert len(timeline) == 20
+
+    def test_values_in_unit_interval(self, compiled):
+        for value in utilization_timeline(compiled, buckets=25):
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_mean_matches_eq2(self, compiled):
+        """Average of the timeline equals the Eq. 2 utilization."""
+        timeline = utilization_timeline(compiled, buckets=200)
+        mean = sum(timeline) / len(timeline)
+        expected = utilization(compiled.schedule, compiled.placement)
+        assert mean == pytest.approx(expected, rel=1e-6)
+
+
+class TestPerPeRecords:
+    def test_every_pe_covered(self, compiled):
+        from repro.sim import per_pe_records
+
+        records = per_pe_records(compiled)
+        assert len(records) == compiled.arch.num_pes
+        assert [r.pe for r in records] == list(range(compiled.arch.num_pes))
+
+    def test_idle_pes_have_no_layer(self, compiled):
+        from repro.sim import per_pe_records
+
+        records = per_pe_records(compiled)
+        used = compiled.placement.pes_used
+        idle = [r for r in records if r.layer is None]
+        assert len(idle) == compiled.arch.num_pes - used
+        assert all(r.busy_cycles == 0 for r in idle)
+
+    def test_busy_cycles_match_layer_busy(self, compiled):
+        from repro.sim import per_pe_records
+
+        busy = compiled.schedule.busy_cycles()
+        for record in per_pe_records(compiled):
+            if record.layer is not None:
+                assert record.busy_cycles == busy[record.layer]
+
+    def test_eq2_from_pe_records(self, compiled):
+        """Summing per-PE activity reproduces the Eq. 2 utilization."""
+        from repro.sim import per_pe_records, utilization
+
+        records = per_pe_records(compiled)
+        makespan = compiled.schedule.makespan
+        mean_activity = sum(r.busy_cycles for r in records) / (
+            compiled.arch.num_pes * makespan
+        )
+        assert mean_activity == pytest.approx(
+            utilization(compiled.schedule, compiled.placement)
+        )
+
+    def test_tile_assignment(self, compiled):
+        from repro.sim import per_pe_records
+
+        per_tile = compiled.arch.tile.pes_per_tile
+        for record in per_pe_records(compiled):
+            assert record.tile == record.pe // per_tile
+
+
+class TestScheduleJson:
+    def test_round_trip_fields(self, compiled):
+        import json
+
+        from repro.sim import schedule_to_json
+
+        payload = json.loads(schedule_to_json(compiled))
+        assert payload["configuration"] == "wdup+xinf"
+        assert payload["makespan_cycles"] == compiled.schedule.makespan
+        assert payload["num_pes"] == compiled.arch.num_pes
+        assert len(payload["tasks"]) == len(compiled.schedule.tasks)
+
+    def test_tasks_sorted_and_consistent(self, compiled):
+        import json
+
+        from repro.sim import schedule_to_json
+
+        payload = json.loads(schedule_to_json(compiled))
+        starts = [task["start"] for task in payload["tasks"]]
+        assert starts == sorted(starts)
+        for task in payload["tasks"]:
+            assert task["end"] > task["start"]
+            r0, c0, r1, c1 = task["rect"]
+            assert (r1 - r0) * (c1 - c0) == task["end"] - task["start"]
+            assert task["origin"] in compiled.canonical.base_layers()
