@@ -14,7 +14,7 @@ rewrite, Stages I-IV).
 
 from conftest import write_artifact
 
-from repro.analysis import benchmark_sweep, duplication_table, fig6c_report
+from repro.analysis import SweepExecutor, duplication_table, fig6c_report
 from repro.arch import paper_case_study
 from repro.core import ScheduleOptions, compile_model
 from repro.mapping import problem_from_tilings, solve, tile_graph
@@ -81,9 +81,10 @@ def test_fig6ab_gantt_charts(benchmark, results_dir, tinyyolov4_canonical):
 
 
 def test_fig6c_speedup_utilization(benchmark, results_dir, tinyyolov4_canonical):
-    """E5: the Fig. 6(c) panel across x values."""
+    """E5: the Fig. 6(c) panel across x values (staged+cached engine)."""
+    executor = SweepExecutor()
     sweep = benchmark.pedantic(
-        lambda: benchmark_sweep(
+        lambda: executor.run(
             CASE_STUDY, xs=(4, 8, 16, 32), graph=tinyyolov4_canonical
         ),
         rounds=1,
@@ -109,6 +110,9 @@ def test_fig6c_speedup_utilization(benchmark, results_dir, tinyyolov4_canonical)
         assert combo.speedup >= xinf.speedup
 
     write_artifact(results_dir, "fig6c_case_study.txt", fig6c_report(sweep))
+    cache = executor.cache_for(CASE_STUDY.name)
+    if cache is not None:
+        write_artifact(results_dir, "fig6c_cache_stats.txt", cache.summary())
 
 
 def test_fig6_compile_performance(benchmark, tinyyolov4_canonical):

@@ -21,16 +21,17 @@ from repro.analysis import (
     fig7a_report,
     fig7b_report,
     headline_summary,
+    sweep_all,
 )
 from repro.models import PAPER_BENCHMARKS, benchmark_by_name
 
 
 @pytest.fixture(scope="module")
 def all_sweeps(canonical_benchmarks):
-    return {
-        spec.name: benchmark_sweep(spec, graph=canonical_benchmarks[spec.name])
-        for spec in PAPER_BENCHMARKS
-    }
+    # One engine invocation for the whole Fig. 7 grid: stages shared
+    # between config points are compiled once per benchmark.
+    results = sweep_all(PAPER_BENCHMARKS, graphs=canonical_benchmarks)
+    return {result.benchmark: result for result in results}
 
 
 def test_fig7_full_grid(benchmark, results_dir, all_sweeps, canonical_benchmarks):

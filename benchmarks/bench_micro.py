@@ -67,6 +67,19 @@ def test_micro_stage2_dependencies(benchmark, tinyyolov4_canonical):
     assert deps.edge_count() > 0
 
 
+def test_micro_stage2_dependencies_naive(benchmark, tinyyolov4_canonical):
+    """Reference all-pairs Stage II — the regression the index removes."""
+    sets = determine_sets(tinyyolov4_canonical)
+    deps = benchmark.pedantic(
+        determine_dependencies,
+        args=(tinyyolov4_canonical, sets),
+        kwargs={"use_index": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert deps.deps == determine_dependencies(tinyyolov4_canonical, sets).deps
+
+
 def test_micro_stage4_dynamic(benchmark, tinyyolov4_canonical):
     sets = determine_sets(tinyyolov4_canonical)
     deps = determine_dependencies(tinyyolov4_canonical, sets)

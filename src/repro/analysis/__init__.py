@@ -14,7 +14,17 @@ from .report import (
     headline_summary,
     layer_utilization_report,
 )
-from .sweep import PAPER_XS, ConfigPoint, SweepResult, benchmark_sweep, sweep_all
+from .sweep import (
+    PAPER_XS,
+    ConfigPoint,
+    SweepExecutor,
+    SweepResult,
+    SweepTask,
+    benchmark_sweep,
+    evaluate_task,
+    grid_tasks,
+    sweep_all,
+)
 from .tables import duplication_table, format_table, table1, table2
 
 __all__ = [
@@ -22,8 +32,12 @@ __all__ = [
     "ConfigPoint",
     "CriticalStep",
     "PAPER_XS",
+    "SweepExecutor",
     "SweepResult",
+    "SweepTask",
     "benchmark_sweep",
+    "evaluate_task",
+    "grid_tasks",
     "critical_layer_summary",
     "critical_path",
     "duplication_table",

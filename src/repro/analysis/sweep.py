@@ -5,17 +5,37 @@ grid — layer-by-layer baseline, ``wdup+x``, ``xinf``, ``wdup+xinf+x``
 for ``x in {4, 8, 16, 32}`` — and returns speedups and utilizations
 relative to the baseline, i.e. the data series of Figures 6(c), 7(a)
 and 7(b).
+
+The grid is evaluated by a :class:`SweepExecutor`, a staged, cached,
+optionally-parallel engine:
+
+* every config point compiles through the staged pipeline of
+  ``repro.core.pipeline`` with a shared
+  :class:`~repro.core.cache.CompilationCache`, so a sweep preprocesses
+  and tiles each model exactly once and the ``wdup``/``wdup+xinf``
+  pair at each ``x`` shares its duplication rewrite and Stage I sets;
+* with ``jobs > 1`` the points fan out over a
+  :mod:`concurrent.futures` process pool (serial fallback when no pool
+  can be created) and results stream back incrementally via
+  :meth:`SweepExecutor.iter_points`.
+
+Serial, cached, and parallel execution produce identical numbers; the
+tests assert this point-wise.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..arch.presets import paper_case_study
-from ..core.pipeline import ScheduleOptions, compile_model
-from ..frontend.partitioning import is_canonical
-from ..frontend.pipeline import preprocess
+from ..core.cache import CompilationCache
+from ..core.pipeline import ScheduleOptions, compile_model, preprocess_stage
+from ..ir import serialize
 from ..ir.graph import Graph
 from ..mapping.tiling import minimum_pe_requirement
 from ..models.zoo import BenchmarkSpec
@@ -71,11 +91,298 @@ class SweepResult:
         )
 
 
+@dataclass(frozen=True)
+class SweepTask:
+    """One (benchmark, configuration, x) evaluation of a sweep grid.
+
+    Plain-data and picklable, so tasks can cross a process-pool
+    boundary; the worker rebuilds architecture and options from it.
+    """
+
+    benchmark: str
+    config: str
+    mapping: str
+    scheduling: str
+    extra_pes: int
+    min_pes: int
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.config == "layer-by-layer"
+
+
+def grid_tasks(spec: BenchmarkSpec, xs: Sequence[int] = PAPER_XS) -> list[SweepTask]:
+    """The paper's configuration grid for one benchmark, in canonical
+    order: baseline, ``xinf``, then ``wdup``/``wdup+xinf`` per ``x``."""
+    tasks = [
+        SweepTask(spec.name, "layer-by-layer", "none", "layer-by-layer", 0, spec.min_pes),
+        SweepTask(spec.name, "xinf", "none", "clsa-cim", 0, spec.min_pes),
+    ]
+    for x in xs:
+        tasks.append(SweepTask(spec.name, "wdup", "wdup", "layer-by-layer", x, spec.min_pes))
+        tasks.append(SweepTask(spec.name, "wdup+xinf", "wdup", "clsa-cim", x, spec.min_pes))
+    return tasks
+
+
+def evaluate_task(
+    canonical: Graph,
+    task: SweepTask,
+    options_overrides: Optional[dict] = None,
+    cache: Optional[CompilationCache] = None,
+) -> Metrics:
+    """Compile and evaluate one config point (staged pipeline)."""
+    arch = paper_case_study(task.min_pes + task.extra_pes)
+    options = ScheduleOptions(
+        mapping=task.mapping,
+        scheduling=task.scheduling,
+        **(options_overrides or {}),
+    )
+    return evaluate(
+        compile_model(canonical, arch, options, assume_canonical=True, cache=cache)
+    )
+
+
+# --- process-pool worker plumbing ------------------------------------
+#
+# Workers receive the canonical graphs once (serialized, via the pool
+# initializer), rebuild them lazily, and keep a per-process
+# CompilationCache per benchmark, so stage reuse survives the process
+# boundary.
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(payload: dict[str, str], overrides: Optional[dict], use_cache: bool) -> None:
+    _WORKER_STATE["payload"] = payload
+    _WORKER_STATE["graphs"] = {}
+    _WORKER_STATE["overrides"] = overrides
+    _WORKER_STATE["caches"] = {} if use_cache else None
+
+
+def _worker_eval(task: SweepTask) -> tuple[SweepTask, Metrics]:
+    graphs = _WORKER_STATE["graphs"]
+    if task.benchmark not in graphs:
+        graphs[task.benchmark] = serialize.loads(_WORKER_STATE["payload"][task.benchmark])
+    caches = _WORKER_STATE["caches"]
+    cache = None if caches is None else caches.setdefault(task.benchmark, CompilationCache())
+    return task, evaluate_task(
+        graphs[task.benchmark], task, _WORKER_STATE["overrides"], cache
+    )
+
+
+class SweepExecutor:
+    """Staged, cached, optionally-parallel sweep engine.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for config-point evaluation.  ``1`` (default)
+        runs serially in-process; ``None`` uses ``os.cpu_count()``.
+        When a process pool cannot be created (restricted sandboxes),
+        execution falls back to serial with a warning — results are
+        identical either way.
+    use_cache:
+        Share one :class:`CompilationCache` per benchmark across the
+        grid (and across ``run`` calls of this executor).  Parallel
+        workers hold per-process caches.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1, use_cache: bool = True) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = os.cpu_count() or 1 if jobs is None else jobs
+        self.use_cache = use_cache
+        self._caches: dict[str, CompilationCache] = {}
+
+    # -- cache handling ------------------------------------------------
+
+    def cache_for(self, benchmark: str) -> Optional[CompilationCache]:
+        """The executor-held cache of one benchmark (None if disabled)."""
+        if not self.use_cache:
+            return None
+        return self._caches.setdefault(benchmark, CompilationCache())
+
+    # -- canonicalization ---------------------------------------------
+
+    def _canonicalize(
+        self, spec: BenchmarkSpec, graph: Optional[Graph]
+    ) -> Graph:
+        model = graph if graph is not None else spec.build()
+        canonical = preprocess_stage(model, self.cache_for(spec.name))
+        measured_min = minimum_pe_requirement(canonical, paper_case_study(1).crossbar)
+        if measured_min != spec.min_pes:
+            raise AssertionError(
+                f"{spec.name}: measured PE minimum {measured_min} differs from "
+                f"published {spec.min_pes}"
+            )
+        return canonical
+
+    # -- streaming evaluation -----------------------------------------
+
+    def iter_points(
+        self,
+        specs: Iterable[BenchmarkSpec],
+        xs: Sequence[int] = PAPER_XS,
+        options_overrides: Optional[dict] = None,
+        graphs: Optional[dict[str, Graph]] = None,
+    ) -> Iterator[ConfigPoint]:
+        """Stream config points as they complete.
+
+        The baseline point of each benchmark (``config ==
+        'layer-by-layer'``, speedup 1.0) is always yielded before that
+        benchmark's other points; beyond that, parallel execution
+        yields in completion order.  Specs repeated by name are
+        evaluated once.
+        """
+        unique: dict[str, BenchmarkSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.name, spec)
+        specs = list(unique.values())
+        canonicals = {
+            spec.name: self._canonicalize(spec, (graphs or {}).get(spec.name))
+            for spec in specs
+        }
+
+        baselines: dict[str, Metrics] = {}
+        pending: list[SweepTask] = []
+        for spec in specs:
+            for task in grid_tasks(spec, xs):
+                if task.is_baseline:
+                    baselines[spec.name] = evaluate_task(
+                        canonicals[spec.name],
+                        task,
+                        options_overrides,
+                        self.cache_for(spec.name),
+                    )
+                    yield self._point(task, baselines[spec.name], baselines)
+                else:
+                    pending.append(task)
+
+        if self.jobs > 1 and len(pending) > 1:
+            pool = self._make_pool(canonicals, options_overrides)
+            if pool is not None:
+                # Workers spawn lazily, so fork/spawn failures surface at
+                # submit/result time, not construction — catch those too
+                # and finish the remaining points serially.
+                completed: set[SweepTask] = set()
+                try:
+                    jobs = [pool.submit(_worker_eval, task) for task in pending]
+                    for done in futures.as_completed(jobs):
+                        task, metrics = done.result()
+                        completed.add(task)
+                        yield self._point(task, metrics, baselines)
+                except (OSError, BrokenProcessPool) as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    warnings.warn(
+                        f"process pool failed ({exc}); sweeping serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    pending = [t for t in pending if t not in completed]
+                except BaseException:
+                    # consumer abandoned the stream (GeneratorExit) or
+                    # interrupted — don't block on the unfinished grid
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                else:
+                    pool.shutdown()
+                    return
+
+        for task in pending:
+            metrics = evaluate_task(
+                canonicals[task.benchmark],
+                task,
+                options_overrides,
+                self.cache_for(task.benchmark),
+            )
+            yield self._point(task, metrics, baselines)
+
+    def _make_pool(
+        self, canonicals: dict[str, Graph], options_overrides: Optional[dict]
+    ) -> Optional[futures.ProcessPoolExecutor]:
+        payload = {
+            name: serialize.dumps(graph) for name, graph in canonicals.items()
+        }
+        try:
+            return futures.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(payload, options_overrides, self.use_cache),
+            )
+        except (OSError, ValueError, RuntimeError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc}); sweeping serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    @staticmethod
+    def _point(
+        task: SweepTask, metrics: Metrics, baselines: dict[str, Metrics]
+    ) -> ConfigPoint:
+        baseline = baselines[task.benchmark]
+        return ConfigPoint(
+            benchmark=task.benchmark,
+            config=task.config,
+            extra_pes=task.extra_pes,
+            metrics=metrics,
+            speedup=metrics.speedup_over(baseline),
+            utilization=metrics.utilization,
+        )
+
+    # -- assembled results --------------------------------------------
+
+    def run_many(
+        self,
+        specs: Sequence[BenchmarkSpec],
+        xs: Sequence[int] = PAPER_XS,
+        options_overrides: Optional[dict] = None,
+        graphs: Optional[dict[str, Graph]] = None,
+    ) -> list[SweepResult]:
+        """Sweep several benchmarks (the Fig. 7 grid)."""
+        order = {
+            (spec.name, task.config, task.extra_pes): index
+            for spec in specs
+            for index, task in enumerate(grid_tasks(spec, xs))
+        }
+        results: dict[str, SweepResult] = {}
+        for point in self.iter_points(specs, xs, options_overrides, graphs):
+            if point.config == "layer-by-layer":
+                results[point.benchmark] = SweepResult(
+                    benchmark=point.benchmark,
+                    min_pes=next(
+                        s.min_pes for s in specs if s.name == point.benchmark
+                    ),
+                    baseline=point.metrics,
+                )
+            else:
+                results[point.benchmark].points.append(point)
+        for result in results.values():
+            result.points.sort(
+                key=lambda p: order[(p.benchmark, p.config, p.extra_pes)]
+            )
+        return [results[spec.name] for spec in specs]
+
+    def run(
+        self,
+        spec: BenchmarkSpec,
+        xs: Sequence[int] = PAPER_XS,
+        options_overrides: Optional[dict] = None,
+        graph: Optional[Graph] = None,
+    ) -> SweepResult:
+        """Sweep one benchmark."""
+        graphs = None if graph is None else {spec.name: graph}
+        return self.run_many([spec], xs, options_overrides, graphs)[0]
+
+
 def benchmark_sweep(
     spec: BenchmarkSpec,
     xs: Sequence[int] = PAPER_XS,
     options_overrides: Optional[dict] = None,
     graph: Optional[Graph] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> SweepResult:
     """Run the paper's configuration grid for one benchmark.
 
@@ -90,6 +397,11 @@ def benchmark_sweep(
         configuration (e.g. a coarser granularity for quick runs).
     graph:
         Pre-built model graph (rebuilt from ``spec`` when omitted).
+    jobs:
+        Worker processes (see :class:`SweepExecutor`).
+    use_cache:
+        Reuse pipeline stages across config points (identical results,
+        less work).
 
     Returns
     -------
@@ -98,53 +410,20 @@ def benchmark_sweep(
         configuration: ``xinf`` once (mapping-independent) and
         ``wdup``/``wdup+xinf`` per ``x``.
     """
-    overrides = options_overrides or {}
-    model = graph if graph is not None else spec.build()
-    canonical = model if is_canonical(model) else preprocess(model, quantization=None).graph
-    base_arch = paper_case_study(spec.min_pes)
-    measured_min = minimum_pe_requirement(canonical, base_arch.crossbar)
-    if measured_min != spec.min_pes:
-        raise AssertionError(
-            f"{spec.name}: measured PE minimum {measured_min} differs from "
-            f"published {spec.min_pes}"
-        )
-
-    def run(arch, mapping, scheduling) -> Metrics:
-        options = ScheduleOptions(mapping=mapping, scheduling=scheduling, **overrides)
-        return evaluate(
-            compile_model(canonical, arch, options, assume_canonical=True)
-        )
-
-    baseline = run(base_arch, "none", "layer-by-layer")
-    result = SweepResult(benchmark=spec.name, min_pes=spec.min_pes, baseline=baseline)
-
-    def add(config: str, extra: int, metrics: Metrics) -> None:
-        result.points.append(
-            ConfigPoint(
-                benchmark=spec.name,
-                config=config,
-                extra_pes=extra,
-                metrics=metrics,
-                speedup=metrics.speedup_over(baseline),
-                utilization=metrics.utilization,
-            )
-        )
-
-    add("xinf", 0, run(base_arch, "none", "clsa-cim"))
-    for x in xs:
-        arch = paper_case_study(spec.min_pes + x)
-        add("wdup", x, run(arch, "wdup", "layer-by-layer"))
-        add("wdup+xinf", x, run(arch, "wdup", "clsa-cim"))
-    return result
+    executor = SweepExecutor(jobs=jobs, use_cache=use_cache)
+    return executor.run(spec, xs=xs, options_overrides=options_overrides, graph=graph)
 
 
 def sweep_all(
     benchmarks: Sequence[BenchmarkSpec],
     xs: Sequence[int] = PAPER_XS,
     options_overrides: Optional[dict] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    graphs: Optional[dict[str, Graph]] = None,
 ) -> list[SweepResult]:
     """Sweep several benchmarks (the Fig. 7 grid)."""
-    return [
-        benchmark_sweep(spec, xs=xs, options_overrides=options_overrides)
-        for spec in benchmarks
-    ]
+    executor = SweepExecutor(jobs=jobs, use_cache=use_cache)
+    return executor.run_many(
+        benchmarks, xs=xs, options_overrides=options_overrides, graphs=graphs
+    )

@@ -21,6 +21,13 @@ Examples
     clsa-cim schedule --model tinyyolov4 --extra-pes 32
     clsa-cim schedule --model tinyyolov4 --mapping none --gantt
     clsa-cim sweep --models tinyyolov3 vgg16 --xs 4 16 --format csv
+    clsa-cim sweep --models resnet50 resnet101 --jobs 4
+
+Sweeps run on the staged, cached evaluation engine
+(``repro.analysis.sweep.SweepExecutor``): pipeline stages shared
+between config points are computed once, and ``--jobs`` fans the grid
+out over worker processes.  ``--no-cache`` forces every point to
+recompile from scratch (slower; identical numbers).
 """
 
 from __future__ import annotations
@@ -38,13 +45,20 @@ from .analysis import (
     table2,
 )
 from .analysis.export import sweep_to_csv, sweep_to_json
-from .analysis.sweep import benchmark_sweep
+from .analysis.sweep import sweep_all
 from .arch import paper_case_study
 from .core import ScheduleOptions, SetGranularity, compile_model
 from .frontend import preprocess
 from .mapping import minimum_pe_requirement
 from .models import MODELS, PAPER_BENCHMARKS, benchmark_by_name, build
 from .sim import ascii_gantt, evaluate
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {jobs}")
+    return jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,6 +111,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--format", default="text", choices=("text", "csv", "json"),
         help="output format (default text)",
+    )
+    sweep.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="evaluate config points on N worker processes "
+             "(0 = one per CPU; default 1 = serial)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the compilation cache (recompile every stage "
+             "of every config point; results are identical)",
     )
     return parser
 
@@ -174,11 +198,18 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    results = []
-    for name in args.models:
-        spec = benchmark_by_name(name)
-        canonical = preprocess(spec.build(), quantization=None).graph
-        results.append(benchmark_sweep(spec, xs=tuple(args.xs), graph=canonical))
+    specs = [benchmark_by_name(name) for name in args.models]
+    graphs = {
+        spec.name: preprocess(spec.build(), quantization=None).graph
+        for spec in specs
+    }
+    results = sweep_all(
+        specs,
+        xs=tuple(args.xs),
+        jobs=None if args.jobs == 0 else args.jobs,
+        use_cache=not args.no_cache,
+        graphs=graphs,
+    )
     if args.format == "csv":
         print(sweep_to_csv(results))
     elif args.format == "json":

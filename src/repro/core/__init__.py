@@ -10,9 +10,12 @@ from .cross_layer import (
     cross_layer_schedule_dynamic,
     validate_schedule,
 )
+from .cache import CompilationCache, StageStats, graph_fingerprint
 from .dependencies import (
     DependencyGraph,
+    RectIndex,
     SetRef,
+    build_set_indexes,
     determine_dependencies,
     layer_level_dependencies,
     set_dependencies,
@@ -26,6 +29,13 @@ from .pipeline import (
     CompiledModel,
     ScheduleOptions,
     compile_model,
+    dependencies_stage,
+    duplication_stage,
+    placement_stage,
+    preprocess_stage,
+    schedule_stage,
+    sets_stage,
+    tile_stage,
 )
 from .schedule import Schedule, SetTask
 from .sets import (
@@ -38,28 +48,40 @@ from .sets import (
 
 __all__ = [
     "BatchScheduleResult",
+    "CompilationCache",
     "CompiledModel",
     "DependencyGraph",
     "FINEST",
     "MAPPINGS",
     "ORDER_POLICIES",
+    "RectIndex",
     "SCHEDULERS",
     "Schedule",
     "ScheduleOptions",
     "SetGranularity",
     "SetRef",
     "SetTask",
+    "StageStats",
+    "build_set_indexes",
     "compile_model",
     "cross_layer_schedule",
     "cross_layer_schedule_batch",
     "cross_layer_schedule_dynamic",
+    "dependencies_stage",
     "determine_dependencies",
     "determine_sets",
+    "duplication_stage",
+    "graph_fingerprint",
     "intra_layer_order",
     "layer_by_layer_schedule",
     "layer_level_dependencies",
     "partition_ofm",
+    "placement_stage",
+    "preprocess_stage",
+    "schedule_stage",
     "set_dependencies",
+    "sets_stage",
+    "tile_stage",
     "trace_to_base",
     "validate_batch_schedule",
     "validate_partition",

@@ -1,0 +1,153 @@
+"""Stage-level compilation cache.
+
+Sweeps (Sec. V) compile the *same* model ten-plus times with slightly
+different options: the graph is preprocessed identically every time,
+tiled identically for every PE budget, and the ``wdup``/``wdup+xinf``
+pair at each ``x`` shares its duplication rewrite, placement, and
+Stage I sets.  :class:`CompilationCache` memoizes each pipeline stage
+under a key built from *prefixes* of ``(graph fingerprint, arch,
+options)`` — a stage's key contains exactly the inputs that stage
+depends on, so every reusable intermediate is computed once per sweep.
+
+Cached values are shared between compilation results and must be
+treated as immutable by callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.serialize import _PARAM_FIELDS, graph_to_dict
+
+#: A fully-resolved cache key: ``(stage name, *stage inputs)``.
+CacheKey = tuple[Hashable, ...]
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a graph: geometry plus numeric parameters.
+
+    The geometry part hashes the serialized ops/attributes/wiring; any
+    attached parameter arrays (weights, biases, BN statistics) are
+    folded in as raw bytes.  Parameters must participate because the
+    preprocess and rewrite stages cache *graphs*: two structurally
+    identical models with different weights may not share a cache
+    entry, or a lookup would return the wrong model's parameters.
+    Zoo/schedule-only graphs carry no parameters, so this costs
+    nothing on the paper's sweep path.
+    """
+    record = graph_to_dict(graph, include_params=False)
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8"))
+    for op in graph:
+        for name in _PARAM_FIELDS:
+            value = getattr(op, name, None)
+            if value is None:
+                continue
+            array = np.asarray(value)
+            digest.update(
+                f"{op.name}.{name}:{array.dtype}:{array.shape}".encode("utf-8")
+            )
+            digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class StageStats:
+    """Hit/miss counters of one pipeline stage."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class CompilationCache:
+    """LRU cache over pipeline-stage results.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on stored values (least-recently-used eviction);
+        ``None`` (default) means unbounded — a full paper sweep stores
+        well under a hundred entries.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        #: id(graph) -> (weakref to graph, fingerprint); the weakref
+        #: guards against id reuse after garbage collection.
+        self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
+        self.stats: dict[str, StageStats] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._store
+
+    def get_or_compute(self, key: CacheKey, compute: Callable[[], Any]) -> Any:
+        """The cached value under ``key``, computing and storing on miss."""
+        stage = str(key[0])
+        stats = self.stats.setdefault(stage, StageStats())
+        if key in self._store:
+            stats.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        stats.misses += 1
+        value = compute()
+        self._store[key] = value
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return value
+
+    def fingerprint(self, graph: Graph) -> str:
+        """:func:`graph_fingerprint`, memoized per live graph object.
+
+        Sweeps fingerprint the same canonical graph once per config
+        point; memoization makes repeat lookups O(1) instead of a full
+        serialize-and-hash of the graph.
+        """
+        entry = self._fingerprints.get(id(graph))
+        if entry is not None:
+            ref, cached = entry
+            if ref() is graph:
+                return cached
+        value = graph_fingerprint(graph)
+        self._fingerprints[id(graph)] = (weakref.ref(graph), value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all stored values (stats are kept)."""
+        self._store.clear()
+        self._fingerprints.clear()
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across all stages."""
+        return sum(s.hits for s in self.stats.values())
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across all stages."""
+        return sum(s.misses for s in self.stats.values())
+
+    def summary(self) -> str:
+        """One line per stage: ``stage: hits/lookups``."""
+        lines = [
+            f"{stage}: {stats.hits}/{stats.lookups} hits"
+            for stage, stats in sorted(self.stats.items())
+        ]
+        return "\n".join(lines) if lines else "(no lookups)"

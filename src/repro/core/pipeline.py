@@ -18,6 +18,13 @@ wdup            ``wdup``    ``layer-by-layer``
 xinf            ``none``    ``clsa-cim``
 wdup+xinf       ``wdup``    ``clsa-cim``
 =============== =========== ===================
+
+The pipeline is *staged*: each phase (``preprocess → tile →
+duplicate/rewrite → place → sets → dependencies → schedule``) is an
+explicit function that can run standalone, and ``compile_model``
+threads an optional :class:`~repro.core.cache.CompilationCache`
+through them so a sweep over many configurations recomputes only what
+actually changed (see ``repro.analysis.sweep``).
 """
 
 from __future__ import annotations
@@ -33,7 +40,8 @@ from ..ir.tensor import Rect
 from ..mapping.duplication import DuplicationSolution, problem_from_tilings, solve
 from ..mapping.placement import Placement, place_graph
 from ..mapping.rewrite import RewriteReport, apply_duplication
-from ..mapping.tiling import tile_graph
+from ..mapping.tiling import LayerTiling, tile_graph
+from .cache import CacheKey, CompilationCache, graph_fingerprint
 from .cross_layer import (
     cross_layer_schedule,
     cross_layer_schedule_dynamic,
@@ -141,11 +149,206 @@ class CompiledModel:
         return layer
 
 
+def _cached(cache: Optional[CompilationCache], key: CacheKey, compute):
+    """Run ``compute`` through ``cache`` when one is provided."""
+    if cache is None:
+        return compute()
+    return cache.get_or_compute(key, compute)
+
+
+def preprocess_stage(
+    graph: Graph,
+    cache: Optional[CompilationCache] = None,
+    assume_canonical: bool = False,
+) -> Graph:
+    """Stage 0: canonicalize the model (Sec. III-A).
+
+    Already-canonical graphs pass through untouched (identity, not a
+    copy).  With a cache, repeated preprocessing of a structurally
+    identical raw graph is served from the cache.
+    """
+    if assume_canonical or is_canonical(graph):
+        return graph
+    if cache is None:
+        return preprocess(graph, quantization=None).graph
+    return cache.get_or_compute(
+        ("preprocess", cache.fingerprint(graph)),
+        lambda: preprocess(graph, quantization=None).graph,
+    )
+
+
+def tile_stage(
+    canonical: Graph,
+    arch: ArchitectureConfig,
+    cache: Optional[CompilationCache] = None,
+    canonical_key: Optional[CacheKey] = None,
+) -> dict[str, LayerTiling]:
+    """Tile every base layer onto crossbars (Eq. 1).
+
+    Tilings depend only on the graph and the crossbar geometry — not
+    the PE budget — so one cache entry serves every ``x`` of a sweep.
+    """
+    key = canonical_key if canonical_key is not None else _graph_key(canonical, cache)
+    return _cached(
+        cache,
+        ("tile", key, arch.crossbar),
+        lambda: tile_graph(canonical, arch.crossbar),
+    )
+
+
+def duplication_stage(
+    canonical: Graph,
+    arch: ArchitectureConfig,
+    options: ScheduleOptions,
+    cache: Optional[CompilationCache] = None,
+    canonical_key: Optional[CacheKey] = None,
+) -> tuple[DuplicationSolution, RewriteReport]:
+    """Optimization Problem 1 + the Fig. 4 rewrite (Sec. III-C).
+
+    The ``wdup`` and ``wdup+xinf`` configurations at the same PE budget
+    share one solution/rewrite through the cache.
+    """
+    key = canonical_key if canonical_key is not None else _graph_key(canonical, cache)
+
+    def compute() -> tuple[DuplicationSolution, RewriteReport]:
+        tilings = tile_stage(canonical, arch, cache, key)
+        problem = problem_from_tilings(
+            tilings,
+            budget=arch.num_pes,
+            d_max_cap=options.d_max_cap,
+            axis=options.duplication_axis,
+        )
+        duplication = solve(problem, options.duplication_solver)
+        rewrite = apply_duplication(
+            canonical, duplication, axis=options.duplication_axis
+        )
+        return duplication, rewrite
+
+    return _cached(cache, _mapped_key(key, arch, options), compute)
+
+
+def placement_stage(
+    mapped: Graph,
+    arch: ArchitectureConfig,
+    cache: Optional[CompilationCache] = None,
+    mapped_key: Optional[CacheKey] = None,
+) -> Placement:
+    """Weight-stationary PE placement of the mapped graph."""
+    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
+    return _cached(
+        cache, ("place", key, arch), lambda: place_graph(mapped, arch)
+    )
+
+
+def sets_stage(
+    mapped: Graph,
+    granularity: SetGranularity,
+    cache: Optional[CompilationCache] = None,
+    mapped_key: Optional[CacheKey] = None,
+) -> dict[str, list[Rect]]:
+    """Stage I: determine sets."""
+    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
+    return _cached(
+        cache,
+        ("sets", key, granularity),
+        lambda: determine_sets(mapped, granularity),
+    )
+
+
+def dependencies_stage(
+    mapped: Graph,
+    sets: dict[str, list[Rect]],
+    granularity: SetGranularity,
+    cache: Optional[CompilationCache] = None,
+    mapped_key: Optional[CacheKey] = None,
+) -> DependencyGraph:
+    """Stage II: determine dependencies (interval-indexed)."""
+    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
+    return _cached(
+        cache,
+        ("deps", key, granularity),
+        lambda: determine_dependencies(mapped, sets),
+    )
+
+
+def schedule_stage(
+    mapped: Graph,
+    sets: dict[str, list[Rect]],
+    dependencies: Optional[DependencyGraph],
+    options: ScheduleOptions,
+    cache: Optional[CompilationCache] = None,
+    mapped_key: Optional[CacheKey] = None,
+) -> Schedule:
+    """Stage III–IV (or the layer-by-layer baseline): build a schedule."""
+    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
+
+    if options.scheduling == "layer-by-layer":
+        return _cached(
+            cache,
+            ("schedule", key, options.granularity, "layer-by-layer"),
+            lambda: layer_by_layer_schedule(mapped, sets),
+        )
+
+    assert dependencies is not None, "clsa-cim scheduling requires dependencies"
+
+    def compute() -> Schedule:
+        if options.order_mode == "dynamic":
+            schedule = cross_layer_schedule_dynamic(mapped, dependencies)
+        else:
+            order = intra_layer_order(sets, options.intra_layer_policy)
+            schedule = cross_layer_schedule(mapped, dependencies, order)
+        validate_schedule(schedule, dependencies)
+        return schedule
+
+    return _cached(
+        cache,
+        (
+            "schedule",
+            key,
+            options.granularity,
+            "clsa-cim",
+            options.order_mode,
+            options.intra_layer_policy,
+        ),
+        compute,
+    )
+
+
+def _graph_key(graph: Graph, cache: Optional[CompilationCache] = None) -> CacheKey:
+    """Cache-key prefix identifying a graph by structural content.
+
+    Uses the cache's memoized fingerprint when one is available.
+    """
+    if cache is not None:
+        return ("graph", cache.fingerprint(graph))
+    return ("graph", graph_fingerprint(graph))
+
+
+def _mapped_key(
+    canonical_key: CacheKey, arch: ArchitectureConfig, options: ScheduleOptions
+) -> CacheKey:
+    """Cache-key prefix identifying the post-rewrite (mapped) graph.
+
+    Derived from the canonical key plus every option the rewrite
+    depends on — cheaper than fingerprinting the rewritten graph.
+    """
+    return (
+        "wdup",
+        canonical_key,
+        arch.crossbar,
+        arch.num_pes,
+        options.duplication_solver,
+        options.duplication_axis,
+        options.d_max_cap,
+    )
+
+
 def compile_model(
     graph: Graph,
     arch: ArchitectureConfig,
     options: ScheduleOptions = ScheduleOptions(),
     assume_canonical: bool = False,
+    cache: Optional[CompilationCache] = None,
 ) -> CompiledModel:
     """Compile and schedule a model for a tiled CIM architecture.
 
@@ -159,6 +362,10 @@ def compile_model(
         PE requirement.
     options:
         Mapping/scheduling configuration.
+    cache:
+        Optional :class:`CompilationCache`; stages whose inputs were
+        seen before are served from it instead of recomputed.  Results
+        are bit-identical with and without a cache.
 
     Returns
     -------
@@ -166,40 +373,29 @@ def compile_model(
         The compiled artifacts; ``schedule.makespan`` is the inference
         latency in cycles.
     """
-    if assume_canonical or is_canonical(graph):
-        canonical = graph
-    else:
-        canonical = preprocess(graph, quantization=None).graph
+    canonical = preprocess_stage(graph, cache, assume_canonical)
+    canonical_key = _graph_key(canonical, cache) if cache is not None else ("graph", "")
 
     duplication = None
     rewrite = None
     mapped = canonical
+    mapped_key = canonical_key
     if options.mapping == "wdup":
-        tilings = tile_graph(canonical, arch.crossbar)
-        problem = problem_from_tilings(
-            tilings,
-            budget=arch.num_pes,
-            d_max_cap=options.d_max_cap,
-            axis=options.duplication_axis,
+        duplication, rewrite = duplication_stage(
+            canonical, arch, options, cache, canonical_key
         )
-        duplication = solve(problem, options.duplication_solver)
-        rewrite = apply_duplication(canonical, duplication, axis=options.duplication_axis)
         mapped = rewrite.graph
+        mapped_key = _mapped_key(canonical_key, arch, options)
 
-    placement = place_graph(mapped, arch)
-    sets = determine_sets(mapped, options.granularity)
+    placement = placement_stage(mapped, arch, cache, mapped_key)
+    sets = sets_stage(mapped, options.granularity, cache, mapped_key)
 
-    if options.scheduling == "layer-by-layer":
-        schedule = layer_by_layer_schedule(mapped, sets)
-        dependencies = None
-    else:
-        dependencies = determine_dependencies(mapped, sets)
-        if options.order_mode == "dynamic":
-            schedule = cross_layer_schedule_dynamic(mapped, dependencies)
-        else:
-            order = intra_layer_order(sets, options.intra_layer_policy)
-            schedule = cross_layer_schedule(mapped, dependencies, order)
-        validate_schedule(schedule, dependencies)
+    dependencies = None
+    if options.scheduling != "layer-by-layer":
+        dependencies = dependencies_stage(
+            mapped, sets, options.granularity, cache, mapped_key
+        )
+    schedule = schedule_stage(mapped, sets, dependencies, options, cache, mapped_key)
 
     return CompiledModel(
         arch=arch,

@@ -4,6 +4,7 @@ from .darknet import (
     DarknetError,
     build_graph as build_darknet_graph,
     load_cfg,
+    packaged_cfgs,
     parse_cfg,
     tiny_yolo_v3_from_cfg,
     tiny_yolo_v4_from_cfg,
@@ -31,6 +32,7 @@ __all__ = [
     "build",
     "build_darknet_graph",
     "load_cfg",
+    "packaged_cfgs",
     "parse_cfg",
     "resnet101",
     "resnet152",

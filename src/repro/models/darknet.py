@@ -196,11 +196,28 @@ def load_cfg(text: str, name: str = "darknet") -> Graph:
     return build_graph(parse_cfg(text), name=name)
 
 
+def packaged_cfgs() -> list[str]:
+    """Names of the darknet cfgs shipped inside the package."""
+    cfg_dir = resources.files("repro.models").joinpath("cfgs")
+    try:
+        entries = list(cfg_dir.iterdir())
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    return sorted(e.name for e in entries if e.name.endswith(".cfg"))
+
+
 def _packaged_cfg(filename: str) -> str:
-    return (
-        resources.files("repro.models").joinpath("cfgs").joinpath(filename)
-        .read_text(encoding="utf-8")
-    )
+    path = resources.files("repro.models").joinpath("cfgs").joinpath(filename)
+    try:
+        return path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        available = packaged_cfgs()
+        listing = ", ".join(available) if available else "none"
+        raise DarknetError(
+            f"packaged darknet cfg '{filename}' not found "
+            f"(available: {listing}); the 'cfgs/' directory is shipped "
+            f"as package data — reinstall the package if it is missing"
+        ) from None
 
 
 def tiny_yolo_v3_from_cfg() -> Graph:

@@ -1,0 +1,191 @@
+"""Tests for the staged/cached/parallel sweep engine."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepExecutor,
+    SweepTask,
+    benchmark_sweep,
+    evaluate_task,
+    grid_tasks,
+    sweep_all,
+)
+from repro.arch import CrossbarSpec
+from repro.core import SetGranularity
+from repro.frontend import preprocess
+from repro.mapping import minimum_pe_requirement
+from repro.models import BenchmarkSpec, tiny_dual_head, tiny_sequential
+
+#: Coarse granularity keeps these sweeps fast.
+COARSE = {"granularity": SetGranularity(rows_per_set=4)}
+
+
+def small_spec(name="tiny_sequential", build=tiny_sequential):
+    canonical = preprocess(build(), quantization=None).graph
+    min_pes = minimum_pe_requirement(canonical, CrossbarSpec())
+    graph = canonical
+    spec = BenchmarkSpec(
+        name, canonical.shape_of(canonical.input_names()[0]).hwc,
+        base_layers=len(canonical.base_layers()), min_pes=min_pes,
+    )
+    return spec, graph
+
+
+def numbers(result):
+    return [
+        (p.config, p.extra_pes, p.speedup, p.utilization) for p in result.points
+    ]
+
+
+class TestGrid:
+    def test_grid_tasks_order_and_shape(self):
+        spec, _ = small_spec()
+        tasks = grid_tasks(spec, xs=(4, 8))
+        assert [t.config for t in tasks] == [
+            "layer-by-layer", "xinf", "wdup", "wdup+xinf", "wdup", "wdup+xinf",
+        ]
+        assert tasks[0].is_baseline
+        assert [t.extra_pes for t in tasks] == [0, 0, 4, 4, 8, 8]
+
+    def test_evaluate_task_matches_direct_compile(self):
+        spec, graph = small_spec()
+        task = SweepTask(spec.name, "xinf", "none", "clsa-cim", 0, spec.min_pes)
+        metrics = evaluate_task(graph, task, COARSE)
+        assert metrics.config_name == "xinf"
+        assert metrics.latency_cycles > 0
+
+
+class TestExecutor:
+    def test_serial_cached_equals_uncached(self):
+        spec, graph = small_spec()
+        cached = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                 options_overrides=COARSE, use_cache=True)
+        uncached = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                   options_overrides=COARSE, use_cache=False)
+        assert numbers(cached) == numbers(uncached)
+        assert cached.baseline.latency_cycles == uncached.baseline.latency_cycles
+
+    def test_parallel_equals_serial(self):
+        """Process-pool execution is deterministic and order-stable."""
+        spec, graph = small_spec()
+        serial = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                 options_overrides=COARSE, jobs=1)
+        parallel = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                   options_overrides=COARSE, jobs=2)
+        assert numbers(serial) == numbers(parallel)
+
+    def test_streaming_yields_baseline_first(self):
+        spec, graph = small_spec()
+        executor = SweepExecutor()
+        labels = [
+            p.config
+            for p in executor.iter_points([spec], xs=(2,), graphs={spec.name: graph},
+                                          options_overrides=COARSE)
+        ]
+        assert labels[0] == "layer-by-layer"
+        assert set(labels[1:]) == {"xinf", "wdup", "wdup+xinf"}
+
+    def test_run_many_multi_benchmark(self):
+        spec_a, graph_a = small_spec()
+        spec_b, graph_b = small_spec("tiny_dual_head", tiny_dual_head)
+        results = sweep_all(
+            [spec_a, spec_b], xs=(2,), options_overrides=COARSE,
+            graphs={spec_a.name: graph_a, spec_b.name: graph_b},
+        )
+        assert [r.benchmark for r in results] == [spec_a.name, spec_b.name]
+        for result in results:
+            assert [p.config for p in result.points] == ["xinf", "wdup", "wdup+xinf"]
+
+    def test_executor_cache_persists_across_runs(self):
+        spec, graph = small_spec()
+        executor = SweepExecutor()
+        executor.run(spec, xs=(2,), graph=graph, options_overrides=COARSE)
+        cache = executor.cache_for(spec.name)
+        misses_after_first = cache.misses
+        executor.run(spec, xs=(2,), graph=graph, options_overrides=COARSE)
+        assert cache.misses == misses_after_first  # second run: all hits
+
+    def test_duplicate_specs_evaluated_once(self):
+        spec, graph = small_spec()
+        single = sweep_all([spec], xs=(2,), options_overrides=COARSE,
+                           graphs={spec.name: graph})
+        doubled = sweep_all([spec, spec], xs=(2,), options_overrides=COARSE,
+                            graphs={spec.name: graph})
+        assert len(doubled) == 2
+        for result in doubled:
+            assert numbers(result) == numbers(single[0])  # no doubled points
+
+    def test_pool_failure_at_submit_falls_back_to_serial(self, monkeypatch):
+        """Workers spawn lazily; submit-time failures must also fall back."""
+        spec, graph = small_spec()
+
+        class SubmitBrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                raise OSError("clone blocked by sandbox")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(
+            "repro.analysis.sweep.futures.ProcessPoolExecutor", SubmitBrokenPool
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = benchmark_sweep(spec, xs=(2,), graph=graph,
+                                     options_overrides=COARSE, jobs=4)
+        assert any("sweeping serially" in str(w.message) for w in caught)
+        serial = benchmark_sweep(spec, xs=(2,), graph=graph,
+                                 options_overrides=COARSE, jobs=1)
+        assert numbers(result) == numbers(serial)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        spec, graph = small_spec()
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+        monkeypatch.setattr(
+            "repro.analysis.sweep.futures.ProcessPoolExecutor", broken_pool
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = benchmark_sweep(spec, xs=(2,), graph=graph,
+                                     options_overrides=COARSE, jobs=4)
+        assert any("sweeping serially" in str(w.message) for w in caught)
+        serial = benchmark_sweep(spec, xs=(2,), graph=graph,
+                                 options_overrides=COARSE, jobs=1)
+        assert numbers(result) == numbers(serial)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_wrong_min_pes_detected(self):
+        spec, graph = small_spec()
+        bad = BenchmarkSpec(spec.name, spec.input_shape,
+                            base_layers=spec.base_layers, min_pes=spec.min_pes + 1)
+        with pytest.raises(AssertionError, match="differs from"):
+            benchmark_sweep(bad, xs=(2,), graph=graph, options_overrides=COARSE)
+
+
+class TestStreamingEarlyExit:
+    def test_abandoning_parallel_stream_returns_promptly(self):
+        """Closing the generator mid-stream must not block on the grid."""
+        spec, graph = small_spec()
+        executor = SweepExecutor(jobs=2)
+        stream = executor.iter_points([spec], xs=(2, 4), graphs={spec.name: graph},
+                                      options_overrides=COARSE)
+        first = next(stream)
+        assert first.config == "layer-by-layer"
+        stream.close()  # would hang without cancel_futures on shutdown

@@ -78,6 +78,24 @@ class TestSweep:
         assert payload[0]["min_pes"] == 117
         assert len(payload[0]["points"]) == 3
 
+    def test_sweep_jobs_and_no_cache_match_defaults(self, capsys):
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                     "--format", "csv"])
+        assert code == 0
+        default_out = capsys.readouterr().out
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                     "--format", "csv", "--jobs", "2", "--no-cache"])
+        assert code == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_sweep_help_documents_engine_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--help"])
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "--no-cache" in out
+        assert "worker processes" in out
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])

@@ -141,3 +141,70 @@ class TestLayerLevelDependencies:
         # the fine head's conv depends on two base layers via the concat
         multi = [layer for layer, p in preds.items() if len(p) >= 2]
         assert multi
+
+
+class TestRectIndex:
+    """The interval index must agree exactly with the all-pairs scan."""
+
+    def brute_force(self, rects, region):
+        return [(i, r) for i, r in enumerate(rects) if r.intersects(region)]
+
+    def test_stripe_sets(self):
+        from repro.core import RectIndex
+
+        rects = [Rect(r, 0, r + 1, 16) for r in range(32)]
+        index = RectIndex(rects)
+        for region in (Rect(0, 0, 1, 16), Rect(5, 3, 9, 12),
+                       Rect(31, 0, 32, 16), Rect(0, 0, 32, 16)):
+            assert index.query(region) == self.brute_force(rects, region)
+
+    def test_empty_region(self):
+        from repro.core import RectIndex
+
+        index = RectIndex([Rect(0, 0, 4, 4)])
+        assert index.query(Rect(2, 2, 2, 2)) == []
+
+    def test_random_rect_soup(self):
+        """Correct for arbitrary (even overlapping, ragged) rect lists."""
+        import random
+
+        from repro.core import RectIndex
+
+        rng = random.Random(1234)
+        for _ in range(20):
+            rects = [
+                Rect(r0, c0, r0 + rng.randint(1, 7), c0 + rng.randint(1, 7))
+                for r0, c0 in (
+                    (rng.randint(0, 40), rng.randint(0, 40)) for _ in range(60)
+                )
+            ]
+            index = RectIndex(rects)
+            for _ in range(50):
+                r0, c0 = rng.randint(0, 45), rng.randint(0, 45)
+                region = Rect(r0, c0, r0 + rng.randint(1, 10), c0 + rng.randint(1, 10))
+                assert index.query(region) == self.brute_force(rects, region)
+
+    def test_indexed_and_naive_stage2_agree(self):
+        from repro.models import tiny_dual_head
+
+        canonical = preprocess(tiny_dual_head(), quantization=None).graph
+        sets = determine_sets(canonical)
+        fast = determine_dependencies(canonical, sets, use_index=True)
+        slow = determine_dependencies(canonical, sets, use_index=False)
+        assert fast.deps == slow.deps
+
+    def test_indexed_and_naive_agree_at_coarse_granularity(self):
+        g = two_conv_with_pool()
+        sets = determine_sets(g, SetGranularity(rows_per_set=None, target_sets=4))
+        fast = determine_dependencies(g, sets, use_index=True)
+        slow = determine_dependencies(g, sets, use_index=False)
+        assert fast.deps == slow.deps
+
+    def test_empty_rects_excluded_like_naive_scan(self):
+        from repro.core import RectIndex
+
+        rects = [Rect(0, 0, 2, 4), Rect(2, 0, 2, 5), Rect(2, 0, 4, 4)]
+        index = RectIndex(rects)
+        region = Rect(0, 0, 10, 10)
+        assert index.query(region) == self.brute_force(rects, region)
+        assert all(not r.is_empty() for _, r in index.query(region))

@@ -8,12 +8,14 @@ from repro.mapping import layer_table, minimum_pe_requirement
 from repro.models import (
     DarknetError,
     load_cfg,
+    packaged_cfgs,
     parse_cfg,
     tiny_yolo_v3,
     tiny_yolo_v3_from_cfg,
     tiny_yolo_v4,
     tiny_yolo_v4_from_cfg,
 )
+from repro.models.darknet import _packaged_cfg
 
 MINI_CFG = """
 [net]
@@ -204,3 +206,21 @@ class TestOfficialCfgs:
         g = tiny_yolo_v4_from_cfg()
         shapes = sorted(g.shape_of(o).hwc for o in g.output_names())
         assert shapes == [(13, 13, 255), (26, 26, 255)]
+
+
+class TestPackagedCfgData:
+    def test_packaged_cfgs_listed(self):
+        assert packaged_cfgs() == ["yolov3-tiny.cfg", "yolov4-tiny.cfg"]
+
+    def test_missing_cfg_raises_darknet_error_with_listing(self):
+        with pytest.raises(DarknetError, match=r"yolov3-tiny\.cfg, yolov4-tiny\.cfg"):
+            _packaged_cfg("yolov9000.cfg")
+
+    def test_missing_cfg_is_not_a_file_not_found_error(self):
+        try:
+            _packaged_cfg("nope.cfg")
+        except DarknetError as exc:
+            assert not isinstance(exc, FileNotFoundError)
+            assert "nope.cfg" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected DarknetError")
