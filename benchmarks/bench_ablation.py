@@ -11,11 +11,11 @@ Covers:
   designed to accept the crossbar dimensions as an input parameter").
 """
 
-from conftest import write_artifact
+from conftest import session_compile, write_artifact
 
 from repro.analysis import format_table
 from repro.arch import paper_case_study, small_crossbar
-from repro.core import ScheduleOptions, SetGranularity, compile_model
+from repro.core import ScheduleOptions, SetGranularity
 from repro.mapping import (
     continuous_lower_bound,
     minimum_pe_requirement,
@@ -39,9 +39,7 @@ def test_ablation_set_granularity(benchmark, results_dir, tinyyolov4_canonical):
 
     def run(rows_per_set):
         options = combo_options(granularity=SetGranularity(rows_per_set=rows_per_set))
-        return compile_model(
-            tinyyolov4_canonical, arch, options, assume_canonical=True
-        ).latency_cycles
+        return session_compile(tinyyolov4_canonical, arch, options).latency_cycles
 
     latencies = benchmark.pedantic(
         lambda: {rows: run(rows) for rows in (1, 2, 4, 8, 16)}, rounds=1, iterations=1
@@ -63,9 +61,7 @@ def test_ablation_duplication_axis(benchmark, results_dir, tinyyolov4_canonical)
 
     def run(axis):
         options = combo_options(duplication_axis=axis)
-        return compile_model(
-            tinyyolov4_canonical, arch, options, assume_canonical=True
-        ).latency_cycles
+        return session_compile(tinyyolov4_canonical, arch, options).latency_cycles
 
     results = benchmark.pedantic(
         lambda: {axis: run(axis) for axis in ("width", "height")},
@@ -90,16 +86,12 @@ def test_ablation_order_mode(benchmark, results_dir, tinyyolov4_canonical):
 
     def run_all():
         out = {}
-        out["dynamic"] = compile_model(
-            tinyyolov4_canonical, arch, combo_options(order_mode="dynamic"),
-            assume_canonical=True,
-        ).latency_cycles
+        out["dynamic"] = session_compile(tinyyolov4_canonical, arch, combo_options(order_mode="dynamic")).latency_cycles
         for policy in ("row_major", "reverse_row_major", "even_odd"):
-            out[f"static/{policy}"] = compile_model(
+            out[f"static/{policy}"] = session_compile(
                 tinyyolov4_canonical,
                 arch,
                 combo_options(order_mode="static", intra_layer_policy=policy),
-                assume_canonical=True,
             ).latency_cycles
         return out
 
@@ -149,9 +141,7 @@ def test_ablation_duplication_solver(benchmark, results_dir, tinyyolov4_canonica
 def test_ablation_noc_cost(benchmark, results_dir, tinyyolov4_canonical):
     """Sec. V-C: how sensitive are the gains to data-movement costs?"""
     arch = paper_case_study(CASE_STUDY.min_pes + EXTRA)
-    compiled = compile_model(
-        tinyyolov4_canonical, arch, combo_options(), assume_canonical=True
-    )
+    compiled = session_compile(tinyyolov4_canonical, arch, combo_options())
 
     def run():
         free = simulate(compiled).finish_cycles
@@ -194,9 +184,7 @@ def test_ablation_crossbar_size(benchmark, results_dir, tinyyolov4_canonical):
                 tinyyolov4_canonical, crossbar_arch.crossbar
             )
             arch = crossbar_arch.with_num_pes(min_pes + EXTRA)
-            compiled = compile_model(
-                tinyyolov4_canonical, arch, combo_options(), assume_canonical=True
-            )
+            compiled = session_compile(tinyyolov4_canonical, arch, combo_options())
             rows.append((f"{dim}x{dim}", min_pes, compiled.latency_cycles))
         return rows
 

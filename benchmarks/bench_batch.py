@@ -8,13 +8,12 @@ the TinyYOLOv4 case study (wdup+16 mapping), quantifying the headroom
 the paper's observation implies.
 """
 
-from conftest import write_artifact
+from conftest import session_compile, write_artifact
 
 from repro.analysis import format_table
 from repro.arch import paper_case_study
 from repro.core import (
     ScheduleOptions,
-    compile_model,
     cross_layer_schedule_batch,
     validate_batch_schedule,
 )
@@ -23,11 +22,10 @@ from repro.models import CASE_STUDY
 
 def test_batch_pipelining(benchmark, results_dir, tinyyolov4_canonical):
     arch = paper_case_study(CASE_STUDY.min_pes + 16)
-    compiled = compile_model(
+    compiled = session_compile(
         tinyyolov4_canonical,
         arch,
         ScheduleOptions(mapping="wdup", scheduling="clsa-cim"),
-        assume_canonical=True,
     )
     deps = compiled.dependencies
     busy_per_image = sum(

@@ -12,11 +12,11 @@ The benchmark measures one wdup+xinf compilation (mapping optimization,
 rewrite, Stages I-IV).
 """
 
-from conftest import write_artifact
+from conftest import session_compile, write_artifact
 
 from repro.analysis import SweepExecutor, duplication_table, fig6c_report
 from repro.arch import paper_case_study
-from repro.core import ScheduleOptions, compile_model
+from repro.core import ScheduleOptions
 from repro.mapping import problem_from_tilings, solve, tile_graph
 from repro.models import CASE_STUDY
 from repro.sim import ascii_gantt, evaluate
@@ -29,11 +29,8 @@ PAPER_COMBO32_SPEEDUP = 21.9
 
 def compile_combo(canonical, extra):
     arch = paper_case_study(CASE_STUDY.min_pes + extra)
-    return compile_model(
-        canonical,
-        arch,
-        ScheduleOptions(mapping="wdup", scheduling="clsa-cim"),
-        assume_canonical=True,
+    return session_compile(
+        canonical, arch, ScheduleOptions(mapping="wdup", scheduling="clsa-cim")
     )
 
 
@@ -65,11 +62,10 @@ def test_fig6ab_gantt_charts(benchmark, results_dir, tinyyolov4_canonical):
     arch = paper_case_study(CASE_STUDY.min_pes + 16)
 
     def compile_both():
-        lbl = compile_model(
+        lbl = session_compile(
             canonical,
             arch,
             ScheduleOptions(mapping="wdup", scheduling="layer-by-layer"),
-            assume_canonical=True,
         )
         combo = compile_combo(canonical, 16)
         return lbl, combo

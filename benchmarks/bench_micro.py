@@ -88,18 +88,19 @@ def test_micro_stage4_dynamic(benchmark, tinyyolov4_canonical):
 
 
 def test_micro_full_resnet152_compile(benchmark, canonical_benchmarks):
-    """The heaviest single compilation in the evaluation grid."""
-    from repro.core import ScheduleOptions, compile_model
+    """The heaviest single compilation in the evaluation grid (Session path)."""
+    from repro import ScheduleOptions, Session
 
     canonical = canonical_benchmarks["resnet152"]
+    session = Session(paper_case_study(936 + 32), cache=False)
 
     def run():
-        return compile_model(
+        return session.compile(
             canonical,
-            paper_case_study(936 + 32),
             ScheduleOptions(mapping="wdup", scheduling="clsa-cim"),
             assume_canonical=True,
         )
 
     compiled = benchmark.pedantic(run, rounds=1, iterations=1)
     assert compiled.latency_cycles > 0
+    assert set(compiled.timings) >= {"mapping", "place", "sets", "deps", "schedule"}

@@ -57,7 +57,8 @@ def test_sweep_engine_vs_seed_path(results_dir, monkeypatch, canonical_benchmark
         seed_results = sweep_all(specs, xs=SWEEP_XS, use_cache=False, graphs=graphs)
         seed_wall = time.perf_counter() - t0
 
-    # New engine: staged + cached (+ parallel when CPUs allow).
+    # New engine: staged + cached (+ parallel when CPUs allow).  Every
+    # config point compiles through the Session/PassManager API.
     jobs = None if (os.cpu_count() or 1) > 1 else 1
     t0 = time.perf_counter()
     engine_results = sweep_all(specs, xs=SWEEP_XS, jobs=jobs, graphs=graphs)

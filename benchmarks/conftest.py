@@ -10,10 +10,22 @@ import pathlib
 
 import pytest
 
+from repro import Session
 from repro.frontend import preprocess
 from repro.models import CASE_STUDY, PAPER_BENCHMARKS
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def session_compile(canonical, arch, options, cache=False):
+    """Compile one canonical graph through the public Session API.
+
+    Benchmarks default to ``cache=False`` so they measure real
+    compilation work, matching the historical uncached path.
+    """
+    return Session(arch, cache=cache).compile(
+        canonical, options, assume_canonical=True
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,10 +1,12 @@
 """Quickstart: compile and schedule a small CNN on a tiled CIM array.
 
-Walks the full CLSA-CIM flow on a toy network:
+Walks the full CLSA-CIM flow on a toy network through the public
+:class:`repro.Session` API:
 
 1. build a model with the IR's GraphBuilder,
 2. preprocess it into the canonical base/non-base form (Sec. III-A),
-3. compile it under all four of the paper's configurations,
+3. compile it under all four of the paper's configurations through one
+   Session (repeated compiles share stages via the session cache),
 4. compare latency, speedup and utilization (Eqs. 2-3),
 5. print a Gantt chart of the best schedule.
 
@@ -13,15 +15,13 @@ Run:  python examples/quickstart.py
 
 from repro import (
     ScheduleOptions,
-    compile_model,
-    evaluate,
+    Session,
     minimum_pe_requirement,
     paper_case_study,
     preprocess,
 )
 from repro.analysis import format_table
 from repro.ir import GraphBuilder
-from repro.sim import ascii_gantt
 
 
 def build_model():
@@ -46,12 +46,13 @@ def main():
     arch = paper_case_study(min_pes + 8)
     print(f"\nModel needs {min_pes} PEs minimum; using {arch.summary()}\n")
 
+    session = Session(arch)
     results = {}
     for mapping in ("none", "wdup"):
         for scheduling in ("layer-by-layer", "clsa-cim"):
             options = ScheduleOptions(mapping=mapping, scheduling=scheduling)
-            compiled = compile_model(canonical, arch, options, assume_canonical=True)
-            results[options.paper_name] = (compiled, evaluate(compiled))
+            compiled = session.compile(canonical, options, assume_canonical=True)
+            results[options.paper_name] = (compiled, compiled.evaluate())
 
     baseline = results["layer-by-layer"][1]
     rows = []
@@ -71,7 +72,7 @@ def main():
 
     best, _ = results["wdup+xinf"]
     print("\nSchedule of the best configuration (wdup+xinf):\n")
-    print(ascii_gantt(best, width=64))
+    print(best.gantt(width=64))
 
 
 if __name__ == "__main__":

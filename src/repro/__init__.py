@@ -3,6 +3,27 @@
 Reproduces Pelke et al., "CLSA-CIM: A Cross-Layer Scheduling Approach
 for Computing-in-Memory Architectures" (DATE 2024).
 
+Public API
+----------
+The supported entry point is the :class:`Session` facade::
+
+    from repro import Session, ScheduleOptions, paper_case_study
+
+    session = Session(paper_case_study(133))
+    compiled = session.compile(model)          # CompiledModel
+    metrics = session.evaluate(compiled)       # Eq. 2/3 metrics
+    results = session.sweep(["tinyyolov3"])    # the Fig. 7 grid
+
+    compiled.save("model.clsa.json")           # persistent artifact
+    CompiledModel.load("model.clsa.json")      # ... and back
+
+Compilation runs as a pass pipeline (:class:`PassManager`); new
+mapping or scheduling policies plug in through
+:func:`register_mapping` / :func:`register_scheduler` and are then
+addressable by name in :class:`ScheduleOptions` — no core edits
+required.  The legacy free function :func:`compile_model` remains as a
+shim over the same machinery.
+
 Subpackages
 -----------
 ``repro.ir``
@@ -23,19 +44,34 @@ Subpackages
     Sweeps, tables and Gantt exports regenerating the paper's artifacts.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .arch import ArchitectureConfig, CrossbarSpec, paper_case_study  # noqa: E402
-from .core import ScheduleOptions, SetGranularity, compile_model  # noqa: E402
+from .core import (  # noqa: E402
+    CompilationCache,
+    CompiledModel,
+    PassManager,
+    ScheduleOptions,
+    SetGranularity,
+    compile_model,
+    register_mapping,
+    register_scheduler,
+)
 from .frontend import QuantizationConfig, preprocess  # noqa: E402
 from .mapping import minimum_pe_requirement  # noqa: E402
+from .session import Session, SessionHooks  # noqa: E402
 from .sim import evaluate, simulate  # noqa: E402
 
 __all__ = [
     "ArchitectureConfig",
+    "CompilationCache",
+    "CompiledModel",
     "CrossbarSpec",
+    "PassManager",
     "QuantizationConfig",
     "ScheduleOptions",
+    "Session",
+    "SessionHooks",
     "SetGranularity",
     "__version__",
     "compile_model",
@@ -43,5 +79,7 @@ __all__ = [
     "minimum_pe_requirement",
     "paper_case_study",
     "preprocess",
+    "register_mapping",
+    "register_scheduler",
     "simulate",
 ]

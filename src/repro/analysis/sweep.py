@@ -9,8 +9,8 @@ and 7(b).
 The grid is evaluated by a :class:`SweepExecutor`, a staged, cached,
 optionally-parallel engine:
 
-* every config point compiles through the staged pipeline of
-  ``repro.core.pipeline`` with a shared
+* every config point compiles through a :class:`repro.session.Session`
+  (i.e. the pass pipeline of ``repro.core.passes``) with a shared
   :class:`~repro.core.cache.CompilationCache`, so a sweep preprocesses
   and tiles each model exactly once and the ``wdup``/``wdup+xinf``
   pair at each ``x`` shares its duplication rewrite and Stage I sets;
@@ -34,12 +34,13 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from ..arch.presets import paper_case_study
 from ..core.cache import CompilationCache
-from ..core.pipeline import ScheduleOptions, compile_model, preprocess_stage
+from ..core.pipeline import ScheduleOptions, preprocess_stage
 from ..ir import serialize
 from ..ir.graph import Graph
 from ..mapping.tiling import minimum_pe_requirement
 from ..models.zoo import BenchmarkSpec
-from ..sim.metrics import Metrics, evaluate
+from ..session import Session
+from ..sim.metrics import Metrics
 
 #: The paper's extra-PE sweep values (Sec. V-B).
 PAPER_XS = (4, 8, 16, 32)
@@ -129,17 +130,18 @@ def evaluate_task(
     task: SweepTask,
     options_overrides: Optional[dict] = None,
     cache: Optional[CompilationCache] = None,
+    pass_manager=None,
+    hooks=(),
 ) -> Metrics:
-    """Compile and evaluate one config point (staged pipeline)."""
+    """Compile and evaluate one config point (Session / pass pipeline)."""
     arch = paper_case_study(task.min_pes + task.extra_pes)
     options = ScheduleOptions(
         mapping=task.mapping,
         scheduling=task.scheduling,
         **(options_overrides or {}),
     )
-    return evaluate(
-        compile_model(canonical, arch, options, assume_canonical=True, cache=cache)
-    )
+    session = Session(arch, cache=cache, hooks=hooks, pass_manager=pass_manager)
+    return session.evaluate(canonical, options, assume_canonical=True)
 
 
 # --- process-pool worker plumbing ------------------------------------
@@ -185,13 +187,36 @@ class SweepExecutor:
         Share one :class:`CompilationCache` per benchmark across the
         grid (and across ``run`` calls of this executor).  Parallel
         workers hold per-process caches.
+    cache:
+        Optional externally-owned cache (e.g. a
+        :class:`repro.session.Session`'s) used for *all* benchmarks on
+        the serial path — cache keys are graph-fingerprint-scoped, so
+        sharing across benchmarks is safe.  Ignored when ``use_cache``
+        is false.
+    pass_manager / hooks:
+        Optional custom :class:`~repro.core.passes.PassManager` and
+        pass hooks applied to every config point.  Neither can cross a
+        process boundary, so setting either forces serial execution
+        (a ``RuntimeWarning`` is emitted when ``jobs > 1``) — silently
+        compiling some points without an inserted pass would produce
+        inconsistent grids.
     """
 
-    def __init__(self, jobs: Optional[int] = 1, use_cache: bool = True) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        use_cache: bool = True,
+        cache: Optional[CompilationCache] = None,
+        pass_manager=None,
+        hooks=(),
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = os.cpu_count() or 1 if jobs is None else jobs
         self.use_cache = use_cache
+        self._shared_cache = cache
+        self._pass_manager = pass_manager
+        self._hooks = tuple(hooks)
         self._caches: dict[str, CompilationCache] = {}
 
     # -- cache handling ------------------------------------------------
@@ -200,6 +225,8 @@ class SweepExecutor:
         """The executor-held cache of one benchmark (None if disabled)."""
         if not self.use_cache:
             return None
+        if self._shared_cache is not None:
+            return self._shared_cache
         return self._caches.setdefault(benchmark, CompilationCache())
 
     # -- canonicalization ---------------------------------------------
@@ -253,12 +280,22 @@ class SweepExecutor:
                         task,
                         options_overrides,
                         self.cache_for(spec.name),
+                        self._pass_manager,
+                        self._hooks,
                     )
                     yield self._point(task, baselines[spec.name], baselines)
                 else:
                     pending.append(task)
 
-        if self.jobs > 1 and len(pending) > 1:
+        parallel_ok = self._pass_manager is None and not self._hooks
+        if self.jobs > 1 and not parallel_ok:
+            warnings.warn(
+                "custom pass manager/hooks cannot cross the process "
+                "boundary; sweeping serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self.jobs > 1 and parallel_ok and len(pending) > 1:
             pool = self._make_pool(canonicals, options_overrides)
             if pool is not None:
                 # Workers spawn lazily, so fork/spawn failures surface at
@@ -294,6 +331,8 @@ class SweepExecutor:
                 task,
                 options_overrides,
                 self.cache_for(task.benchmark),
+                self._pass_manager,
+                self._hooks,
             )
             yield self._point(task, metrics, baselines)
 

@@ -20,14 +20,18 @@ Examples
     clsa-cim table2
     clsa-cim schedule --model tinyyolov4 --extra-pes 32
     clsa-cim schedule --model tinyyolov4 --mapping none --gantt
+    clsa-cim schedule --model vgg16 --order-mode static --duplication-solver greedy
     clsa-cim sweep --models tinyyolov3 vgg16 --xs 4 16 --format csv
-    clsa-cim sweep --models resnet50 resnet101 --jobs 4
+    clsa-cim sweep --models resnet50 resnet101 --jobs 4 --rows-per-set 4
 
-Sweeps run on the staged, cached evaluation engine
-(``repro.analysis.sweep.SweepExecutor``): pipeline stages shared
-between config points are computed once, and ``--jobs`` fans the grid
-out over worker processes.  ``--no-cache`` forces every point to
-recompile from scratch (slower; identical numbers).
+Both ``schedule`` and ``sweep`` run entirely through the public
+:class:`repro.session.Session` API (pass-pipeline compilation with a
+shared :class:`~repro.core.cache.CompilationCache`); ``--jobs`` fans
+the sweep grid out over worker processes and ``--no-cache`` forces
+every point to recompile from scratch (slower; identical numbers).
+Mapping/scheduler choices include any plugins registered through
+``repro.core.passes.register_mapping`` / ``register_scheduler`` before
+``main`` runs.
 """
 
 from __future__ import annotations
@@ -45,13 +49,13 @@ from .analysis import (
     table2,
 )
 from .analysis.export import sweep_to_csv, sweep_to_json
-from .analysis.sweep import sweep_all
 from .arch import paper_case_study
-from .core import ScheduleOptions, SetGranularity, compile_model
+from .core import ScheduleOptions, SetGranularity
+from .core.passes import mapping_names, scheduler_names
 from .frontend import preprocess
 from .mapping import minimum_pe_requirement
-from .models import MODELS, PAPER_BENCHMARKS, benchmark_by_name, build
-from .sim import ascii_gantt, evaluate
+from .models import MODELS, PAPER_BENCHMARKS, build
+from .session import Session
 
 
 def _jobs_arg(value: str) -> int:
@@ -73,9 +77,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     schedule = sub.add_parser("schedule", help="compile one configuration")
     schedule.add_argument("--model", required=True, choices=sorted(MODELS))
-    schedule.add_argument("--mapping", default="wdup", choices=("none", "wdup"))
+    schedule.add_argument("--mapping", default="wdup", choices=mapping_names())
     schedule.add_argument(
-        "--scheduling", default="clsa-cim", choices=("layer-by-layer", "clsa-cim")
+        "--scheduling", default="clsa-cim", choices=scheduler_names()
     )
     schedule.add_argument(
         "--extra-pes", type=int, default=16,
@@ -84,6 +88,24 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--rows-per-set", type=int, default=1,
         help="Stage I granularity (default 1 = finest)",
+    )
+    schedule.add_argument(
+        "--order-mode", default="dynamic", choices=("dynamic", "static"),
+        help="Stage III/IV ordering: ready-order list scheduling "
+             "(dynamic, default) or the fixed static order (ablation)",
+    )
+    schedule.add_argument(
+        "--duplication-solver", default="dp", choices=("dp", "greedy"),
+        help="Optimization Problem 1 solver (default dp = exact)",
+    )
+    schedule.add_argument(
+        "--duplication-axis", default="width", choices=("width", "height"),
+        help="cut direction of the Fig. 4 duplication rewrite "
+             "(default width)",
+    )
+    schedule.add_argument(
+        "--d-max-cap", type=int, default=None, metavar="D",
+        help="cap per-layer duplication factors at D (default: uncapped)",
     )
     schedule.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     schedule.add_argument(
@@ -122,6 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the compilation cache (recompile every stage "
              "of every config point; results are identical)",
     )
+    sweep.add_argument(
+        "--rows-per-set", type=int, default=1,
+        help="Stage I granularity applied to every config point "
+             "(default 1 = finest)",
+    )
     return parser
 
 
@@ -133,17 +160,23 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         mapping=args.mapping,
         scheduling=args.scheduling,
         granularity=SetGranularity(rows_per_set=args.rows_per_set),
+        order_mode=args.order_mode,
+        duplication_solver=args.duplication_solver,
+        duplication_axis=args.duplication_axis,
+        d_max_cap=args.d_max_cap,
     )
-    compiled = compile_model(canonical, arch, options, assume_canonical=True)
-    metrics = evaluate(compiled)
+    session = Session(arch)
+    compiled = session.compile(canonical, options, assume_canonical=True)
+    metrics = compiled.evaluate()
 
-    baseline = compile_model(
+    # The baseline runs on the minimum-PE architecture; sharing the
+    # session cache reuses the canonical graph's fingerprint/tilings.
+    baseline_session = Session(paper_case_study(min_pes), cache=session.cache)
+    baseline_metrics = baseline_session.evaluate(
         canonical,
-        paper_case_study(min_pes),
         ScheduleOptions(mapping="none", scheduling="layer-by-layer"),
         assume_canonical=True,
     )
-    baseline_metrics = evaluate(baseline)
 
     rows = [
         ("model", args.model),
@@ -164,7 +197,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(format_table(["Field", "Value"], rows))
     if args.gantt:
         print()
-        print(ascii_gantt(compiled))
+        print(compiled.gantt())
     if args.critical_path:
         from .analysis import format_critical_path
 
@@ -198,16 +231,19 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    specs = [benchmark_by_name(name) for name in args.models]
     graphs = {
-        spec.name: preprocess(spec.build(), quantization=None).graph
-        for spec in specs
+        name: preprocess(build(name), quantization=None).graph
+        for name in dict.fromkeys(args.models)
     }
-    results = sweep_all(
-        specs,
+    overrides = None
+    if args.rows_per_set != 1:
+        overrides = {"granularity": SetGranularity(rows_per_set=args.rows_per_set)}
+    session = Session(paper_case_study(1), cache=not args.no_cache)
+    results = session.sweep(
+        list(args.models),
         xs=tuple(args.xs),
         jobs=None if args.jobs == 0 else args.jobs,
-        use_cache=not args.no_cache,
+        options_overrides=overrides,
         graphs=graphs,
     )
     if args.format == "csv":

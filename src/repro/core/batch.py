@@ -20,7 +20,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from ..ir.graph import Graph
-from .dependencies import DependencyGraph, SetRef
+from .dependencies import DependencyGraph
 from .schedule import Schedule, SetTask
 
 #: A (image, layer, set index) triple identifying a batched set.

@@ -21,10 +21,17 @@ wdup+xinf       ``wdup``    ``clsa-cim``
 
 The pipeline is *staged*: each phase (``preprocess → tile →
 duplicate/rewrite → place → sets → dependencies → schedule``) is an
-explicit function that can run standalone, and ``compile_model``
-threads an optional :class:`~repro.core.cache.CompilationCache`
-through them so a sweep over many configurations recomputes only what
-actually changed (see ``repro.analysis.sweep``).
+explicit function that can run standalone, threading an optional
+:class:`~repro.core.cache.CompilationCache` so a sweep over many
+configurations recomputes only what actually changed (see
+``repro.analysis.sweep``).
+
+These stage functions are the *mechanism*; since the Session/PassManager
+redesign the public entry points are :class:`repro.session.Session` and
+:class:`repro.core.passes.PassManager`, which run each stage as a
+registered pass.  :func:`compile_model` remains as a thin
+backward-compatible shim over the default pass manager and produces
+bit-identical results to the Session path (asserted in tests).
 """
 
 from __future__ import annotations
@@ -53,9 +60,11 @@ from .layer_by_layer import layer_by_layer_schedule
 from .schedule import Schedule
 from .sets import FINEST, SetGranularity, determine_sets
 
-#: Mapping option names.
+#: Builtin mapping option names (extensible via
+#: :func:`repro.core.passes.register_mapping`).
 MAPPINGS = ("none", "wdup")
-#: Scheduling option names.
+#: Builtin scheduling option names (extensible via
+#: :func:`repro.core.passes.register_scheduler`).
 SCHEDULERS = ("layer-by-layer", "clsa-cim")
 
 
@@ -98,12 +107,25 @@ class ScheduleOptions:
     d_max_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # Builtin names validate without touching the registries so
+        # that constructing the default options never imports passes
+        # (which itself imports this module).  Unknown names are only
+        # accepted when a plugin registered them.
         if self.mapping not in MAPPINGS:
-            raise ValueError(f"mapping must be one of {MAPPINGS}, got {self.mapping!r}")
+            from .passes import mapping_names
+
+            if self.mapping not in mapping_names():
+                raise ValueError(
+                    f"mapping must be one of {mapping_names()}, got {self.mapping!r}"
+                )
         if self.scheduling not in SCHEDULERS:
-            raise ValueError(
-                f"scheduling must be one of {SCHEDULERS}, got {self.scheduling!r}"
-            )
+            from .passes import scheduler_names
+
+            if self.scheduling not in scheduler_names():
+                raise ValueError(
+                    f"scheduling must be one of {scheduler_names()}, "
+                    f"got {self.scheduling!r}"
+                )
         if self.order_mode not in ("dynamic", "static"):
             raise ValueError(
                 f"order_mode must be 'dynamic' or 'static', got {self.order_mode!r}"
@@ -111,15 +133,32 @@ class ScheduleOptions:
 
     @property
     def paper_name(self) -> str:
-        """The paper's name for this configuration (Sec. V)."""
-        if self.mapping == "none":
-            return "layer-by-layer" if self.scheduling == "layer-by-layer" else "xinf"
-        return "wdup" if self.scheduling == "layer-by-layer" else "wdup+xinf"
+        """The paper's name for this configuration (Sec. V).
+
+        Registered third-party mappings/schedulers fall back to a
+        ``mapping+scheduling`` composite label.
+        """
+        if self.mapping in MAPPINGS and self.scheduling in SCHEDULERS:
+            if self.mapping == "none":
+                return (
+                    "layer-by-layer" if self.scheduling == "layer-by-layer" else "xinf"
+                )
+            return "wdup" if self.scheduling == "layer-by-layer" else "wdup+xinf"
+        parts = [self.mapping] if self.mapping != "none" else []
+        parts.append(self.scheduling)
+        return "+".join(parts)
 
 
 @dataclass
 class CompiledModel:
-    """Everything produced by one compilation run."""
+    """Everything produced by one compilation run.
+
+    Beyond the raw artifacts, a compiled model is a persistent,
+    evaluable object: :meth:`save`/:meth:`load` round-trip it through
+    the versioned artifact format of :mod:`repro.ir.serialize`, and
+    :meth:`evaluate`/:meth:`gantt`/:meth:`to_json` answer the common
+    "what did I get" questions without reaching into subpackages.
+    """
 
     arch: ArchitectureConfig
     options: ScheduleOptions
@@ -131,6 +170,10 @@ class CompiledModel:
     rewrite: Optional[RewriteReport] = None
     sets: dict[str, list[Rect]] = field(default_factory=dict)
     dependencies: Optional[DependencyGraph] = None
+    #: Wall-clock seconds per executed pass (Session/PassManager runs).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Free-form compilation notes (e.g. skipped passes).
+    diagnostics: list[str] = field(default_factory=list)
 
     @property
     def latency_cycles(self) -> int:
@@ -148,12 +191,74 @@ class CompiledModel:
             return self.rewrite.origin_of[layer]
         return layer
 
+    # -- conveniences --------------------------------------------------
 
-def _cached(cache: Optional[CompilationCache], key: CacheKey, compute):
-    """Run ``compute`` through ``cache`` when one is provided."""
+    def evaluate(self) -> "Metrics":  # noqa: F821 - forward ref to repro.sim
+        """Eq. 2/3 metrics of this compilation (``repro.sim.evaluate``)."""
+        from ..sim.metrics import evaluate
+
+        return evaluate(self)
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart of the schedule (Fig. 6 style)."""
+        from ..sim.trace import ascii_gantt
+
+        return ascii_gantt(self, width=width)
+
+    def to_json(
+        self,
+        indent: Optional[int] = None,
+        include_params: bool = False,
+        include_dependencies: bool = False,
+    ) -> str:
+        """The versioned artifact JSON (see :mod:`repro.ir.serialize`)."""
+        from ..ir.serialize import dumps_compiled
+
+        return dumps_compiled(
+            self,
+            indent=indent,
+            include_params=include_params,
+            include_dependencies=include_dependencies,
+        )
+
+    def save(
+        self,
+        path: str,
+        include_params: bool = False,
+        include_dependencies: bool = False,
+    ) -> None:
+        """Write the artifact JSON to ``path`` (see :meth:`load`)."""
+        from ..ir.serialize import save_compiled
+
+        save_compiled(
+            self,
+            path,
+            include_params=include_params,
+            include_dependencies=include_dependencies,
+        )
+
+    @staticmethod
+    def load(path: str) -> "CompiledModel":
+        """Load a :meth:`save`'d artifact; the inverse of :meth:`save`."""
+        from ..ir.serialize import load_compiled
+
+        return load_compiled(path)
+
+
+def _stage_cached(cache, make_key, compute):
+    """Memoize ``compute`` under ``make_key()`` when a cache is present.
+
+    The key is built lazily — key construction may fingerprint a whole
+    graph, which must never happen on uncached compiles.
+    """
     if cache is None:
         return compute()
-    return cache.get_or_compute(key, compute)
+    return cache.get_or_compute(make_key(), compute)
+
+
+def _key_for(graph: Graph, cache: CompilationCache, key: Optional[CacheKey]) -> CacheKey:
+    """The caller-provided key, or a fresh fingerprint-based one."""
+    return key if key is not None else _graph_key(graph, cache)
 
 
 def preprocess_stage(
@@ -188,10 +293,9 @@ def tile_stage(
     Tilings depend only on the graph and the crossbar geometry — not
     the PE budget — so one cache entry serves every ``x`` of a sweep.
     """
-    key = canonical_key if canonical_key is not None else _graph_key(canonical, cache)
-    return _cached(
+    return _stage_cached(
         cache,
-        ("tile", key, arch.crossbar),
+        lambda: ("tile", _key_for(canonical, cache, canonical_key), arch.crossbar),
         lambda: tile_graph(canonical, arch.crossbar),
     )
 
@@ -208,7 +312,7 @@ def duplication_stage(
     The ``wdup`` and ``wdup+xinf`` configurations at the same PE budget
     share one solution/rewrite through the cache.
     """
-    key = canonical_key if canonical_key is not None else _graph_key(canonical, cache)
+    key = None if cache is None else _key_for(canonical, cache, canonical_key)
 
     def compute() -> tuple[DuplicationSolution, RewriteReport]:
         tilings = tile_stage(canonical, arch, cache, key)
@@ -224,7 +328,7 @@ def duplication_stage(
         )
         return duplication, rewrite
 
-    return _cached(cache, _mapped_key(key, arch, options), compute)
+    return _stage_cached(cache, lambda: _mapped_key(key, arch, options), compute)
 
 
 def placement_stage(
@@ -234,9 +338,10 @@ def placement_stage(
     mapped_key: Optional[CacheKey] = None,
 ) -> Placement:
     """Weight-stationary PE placement of the mapped graph."""
-    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
-    return _cached(
-        cache, ("place", key, arch), lambda: place_graph(mapped, arch)
+    return _stage_cached(
+        cache,
+        lambda: ("place", _key_for(mapped, cache, mapped_key), arch),
+        lambda: place_graph(mapped, arch),
     )
 
 
@@ -247,10 +352,9 @@ def sets_stage(
     mapped_key: Optional[CacheKey] = None,
 ) -> dict[str, list[Rect]]:
     """Stage I: determine sets."""
-    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
-    return _cached(
+    return _stage_cached(
         cache,
-        ("sets", key, granularity),
+        lambda: ("sets", _key_for(mapped, cache, mapped_key), granularity),
         lambda: determine_sets(mapped, granularity),
     )
 
@@ -263,10 +367,9 @@ def dependencies_stage(
     mapped_key: Optional[CacheKey] = None,
 ) -> DependencyGraph:
     """Stage II: determine dependencies (interval-indexed)."""
-    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
-    return _cached(
+    return _stage_cached(
         cache,
-        ("deps", key, granularity),
+        lambda: ("deps", _key_for(mapped, cache, mapped_key), granularity),
         lambda: determine_dependencies(mapped, sets),
     )
 
@@ -279,13 +382,26 @@ def schedule_stage(
     cache: Optional[CompilationCache] = None,
     mapped_key: Optional[CacheKey] = None,
 ) -> Schedule:
-    """Stage III–IV (or the layer-by-layer baseline): build a schedule."""
-    key = mapped_key if mapped_key is not None else _graph_key(mapped, cache)
+    """Stage III–IV (or the layer-by-layer baseline): build a schedule.
+
+    Handles the two builtin policies only; registered third-party
+    schedulers run through :class:`repro.core.passes.SchedulePass`.
+    """
+    if options.scheduling not in SCHEDULERS:
+        raise ValueError(
+            f"schedule_stage only builds builtin schedulers {SCHEDULERS}; "
+            f"{options.scheduling!r} must run through the PassManager"
+        )
 
     if options.scheduling == "layer-by-layer":
-        return _cached(
+        return _stage_cached(
             cache,
-            ("schedule", key, options.granularity, "layer-by-layer"),
+            lambda: (
+                "schedule",
+                _key_for(mapped, cache, mapped_key),
+                options.granularity,
+                "layer-by-layer",
+            ),
             lambda: layer_by_layer_schedule(mapped, sets),
         )
 
@@ -300,11 +416,11 @@ def schedule_stage(
         validate_schedule(schedule, dependencies)
         return schedule
 
-    return _cached(
+    return _stage_cached(
         cache,
-        (
+        lambda: (
             "schedule",
-            key,
+            _key_for(mapped, cache, mapped_key),
             options.granularity,
             "clsa-cim",
             options.order_mode,
@@ -372,40 +488,16 @@ def compile_model(
     CompiledModel
         The compiled artifacts; ``schedule.makespan`` is the inference
         latency in cycles.
+
+    Notes
+    -----
+    This is a backward-compatible shim over the default
+    :class:`repro.core.passes.PassManager` — the same machinery
+    :class:`repro.session.Session` runs — and produces bit-identical
+    results to the Session path.
     """
-    canonical = preprocess_stage(graph, cache, assume_canonical)
-    canonical_key = _graph_key(canonical, cache) if cache is not None else ("graph", "")
+    from .passes import default_pass_manager
 
-    duplication = None
-    rewrite = None
-    mapped = canonical
-    mapped_key = canonical_key
-    if options.mapping == "wdup":
-        duplication, rewrite = duplication_stage(
-            canonical, arch, options, cache, canonical_key
-        )
-        mapped = rewrite.graph
-        mapped_key = _mapped_key(canonical_key, arch, options)
-
-    placement = placement_stage(mapped, arch, cache, mapped_key)
-    sets = sets_stage(mapped, options.granularity, cache, mapped_key)
-
-    dependencies = None
-    if options.scheduling != "layer-by-layer":
-        dependencies = dependencies_stage(
-            mapped, sets, options.granularity, cache, mapped_key
-        )
-    schedule = schedule_stage(mapped, sets, dependencies, options, cache, mapped_key)
-
-    return CompiledModel(
-        arch=arch,
-        options=options,
-        canonical=canonical,
-        mapped=mapped,
-        placement=placement,
-        schedule=schedule,
-        duplication=duplication,
-        rewrite=rewrite,
-        sets=sets,
-        dependencies=dependencies,
+    return default_pass_manager().compile(
+        graph, arch, options, assume_canonical=assume_canonical, cache=cache
     )

@@ -1,8 +1,21 @@
-"""JSON (de)serialization of IR graphs.
+"""JSON (de)serialization of IR graphs and compiled artifacts.
 
 Geometry (op types, attributes, wiring) always round-trips; numeric
 parameters (weights, biases, BN statistics) are included only when
 ``include_params=True`` since schedules never depend on them.
+
+Beyond bare graphs, this module defines the **compiled-artifact
+format**: a versioned JSON document carrying everything a
+:class:`~repro.core.pipeline.CompiledModel` produced — architecture,
+options, graphs, placement, Stage I sets, the schedule, and the
+duplication solution/rewrite bookkeeping (set-level dependencies are
+opt-in; they are large and cheap to recompute).  ``save_compiled`` /
+``load_compiled`` round-trip a compilation so a schedule computed once
+can be re-evaluated, plotted, or shipped without recompiling.
+
+The artifact helpers import compiler types lazily inside functions:
+``repro.core.cache`` imports this module at load time, so a top-level
+import of ``repro.core`` here would be circular.
 """
 
 from __future__ import annotations
@@ -15,13 +28,19 @@ import numpy as np
 
 from .graph import Graph
 from .ops import OP_TYPES, Op
-from .tensor import Shape
+from .tensor import Rect, Shape
 
 #: Op attribute names that hold numpy parameter arrays.
 _PARAM_FIELDS = ("weights", "bias", "gamma", "beta", "mean", "variance")
 
 #: Schema version written into every serialized graph.
 FORMAT_VERSION = 1
+
+#: Schema version of the compiled-artifact format.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Document marker of the compiled-artifact format.
+ARTIFACT_FORMAT = "clsa-cim-compiled"
 
 
 def op_to_dict(op: Op, include_params: bool = False) -> dict[str, Any]:
@@ -118,3 +137,393 @@ def load(path: str) -> Graph:
     """Read a graph from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
         return loads(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# compiled-artifact format
+# ---------------------------------------------------------------------------
+
+
+def _rect_to_list(rect: Rect) -> list[int]:
+    return [rect.r0, rect.c0, rect.r1, rect.c1]
+
+
+def _rect_from_list(values: Any) -> Rect:
+    r0, c0, r1, c1 = values
+    return Rect(int(r0), int(c0), int(r1), int(c1))
+
+
+def arch_to_dict(arch: Any) -> dict[str, Any]:
+    """Serialize an :class:`~repro.arch.config.ArchitectureConfig`."""
+    return {
+        "name": arch.name,
+        "num_pes": arch.num_pes,
+        "tile": {
+            "pes_per_tile": arch.tile.pes_per_tile,
+            "input_buffer_bytes": arch.tile.input_buffer_bytes,
+            "output_buffer_bytes": arch.tile.output_buffer_bytes,
+            "crossbar": dataclasses.asdict(arch.tile.crossbar),
+            "gpeu": {
+                "supported_ops": list(arch.tile.gpeu.supported_ops),
+                "throughput_per_cycle": arch.tile.gpeu.throughput_per_cycle,
+            },
+        },
+        "noc": dataclasses.asdict(arch.noc),
+        "dram": dataclasses.asdict(arch.dram),
+    }
+
+
+def arch_from_dict(record: dict[str, Any]) -> Any:
+    """Deserialize an :class:`~repro.arch.config.ArchitectureConfig`."""
+    from ..arch.config import ArchitectureConfig
+    from ..arch.memory import DramSpec
+    from ..arch.noc import NocSpec
+    from ..arch.pe import CrossbarSpec
+    from ..arch.tile import GpeuSpec, TileSpec
+
+    tile = record["tile"]
+    return ArchitectureConfig(
+        num_pes=record["num_pes"],
+        name=record.get("name", "cim"),
+        tile=TileSpec(
+            pes_per_tile=tile["pes_per_tile"],
+            input_buffer_bytes=tile["input_buffer_bytes"],
+            output_buffer_bytes=tile["output_buffer_bytes"],
+            crossbar=CrossbarSpec(**tile["crossbar"]),
+            gpeu=GpeuSpec(
+                supported_ops=tuple(tile["gpeu"]["supported_ops"]),
+                throughput_per_cycle=tile["gpeu"]["throughput_per_cycle"],
+            ),
+        ),
+        noc=NocSpec(**record["noc"]),
+        dram=DramSpec(**record["dram"]),
+    )
+
+
+def options_to_dict(options: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.pipeline.ScheduleOptions`.
+
+    ``asdict`` recurses into the nested granularity dataclass.
+    """
+    return dataclasses.asdict(options)
+
+
+def options_from_dict(record: dict[str, Any]) -> Any:
+    """Deserialize a :class:`~repro.core.pipeline.ScheduleOptions`.
+
+    Mapping/scheduler names are *not* re-validated against the
+    registries: an artifact compiled with a registered plugin must load
+    (and evaluate, plot, re-serialize) in a process where that plugin
+    was never imported — no pass runs on a loaded artifact, so the
+    names are recorded provenance, not dispatch targets.
+    """
+    from ..core.pipeline import ScheduleOptions
+    from ..core.sets import SetGranularity
+
+    kwargs = dict(record)
+    kwargs["granularity"] = SetGranularity(**record["granularity"])
+    try:
+        return ScheduleOptions(**kwargs)
+    except ValueError:
+        # Unregistered plugin name: bypass __post_init__'s registry
+        # check but keep the structural order_mode validation.
+        if kwargs["order_mode"] not in ("dynamic", "static"):
+            raise
+        options = object.__new__(ScheduleOptions)
+        for field in dataclasses.fields(ScheduleOptions):
+            object.__setattr__(options, field.name, kwargs[field.name])
+        return options
+
+
+def schedule_to_dict(schedule: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.schedule.Schedule`."""
+    return {
+        "policy": schedule.policy,
+        "tasks": [
+            [
+                task.layer,
+                task.set_index,
+                _rect_to_list(task.rect),
+                task.start,
+                task.end,
+                task.image,
+            ]
+            for task in schedule.tasks
+        ],
+    }
+
+
+def schedule_from_dict(record: dict[str, Any]) -> Any:
+    """Deserialize a :class:`~repro.core.schedule.Schedule`."""
+    from ..core.schedule import Schedule, SetTask
+
+    return Schedule(
+        policy=record["policy"],
+        tasks=[
+            SetTask(
+                layer=layer,
+                set_index=set_index,
+                rect=_rect_from_list(rect),
+                start=start,
+                end=end,
+                image=image,
+            )
+            for layer, set_index, rect, start, end, image in record["tasks"]
+        ],
+    )
+
+
+def _sets_to_dict(sets: dict[str, list[Rect]]) -> dict[str, list[list[int]]]:
+    return {
+        layer: [_rect_to_list(rect) for rect in rects]
+        for layer, rects in sets.items()
+    }
+
+
+def _sets_from_dict(record: dict[str, Any]) -> dict[str, list[Rect]]:
+    return {
+        layer: [_rect_from_list(rect) for rect in rects]
+        for layer, rects in record.items()
+    }
+
+
+def _duplication_to_dict(solution: Any) -> dict[str, Any]:
+    problem = solution.problem
+    return {
+        "problem": {
+            "layers": list(problem.layers),
+            "t": list(problem.t),
+            "c": list(problem.c),
+            "budget": problem.budget,
+            "d_max": list(problem.d_max),
+        },
+        "d": dict(solution.d),
+        "method": solution.method,
+    }
+
+
+def _duplication_from_dict(record: dict[str, Any]) -> Any:
+    from ..mapping.duplication import DuplicationProblem, DuplicationSolution
+
+    problem = record["problem"]
+    return DuplicationSolution(
+        problem=DuplicationProblem(
+            layers=tuple(problem["layers"]),
+            t=tuple(problem["t"]),
+            c=tuple(problem["c"]),
+            budget=problem["budget"],
+            d_max=tuple(problem["d_max"]),
+        ),
+        d=dict(record["d"]),
+        method=record["method"],
+    )
+
+
+def _rewrite_to_dict(rewrite: Any) -> dict[str, Any]:
+    return {
+        "origin_of": dict(rewrite.origin_of),
+        "duplicated": {
+            original: {
+                "axis": entry.axis,
+                "duplicates": list(entry.duplicates),
+                "slices": list(entry.slices),
+                "concat": entry.concat,
+                "ranges": [list(pair) for pair in entry.ranges],
+            }
+            for original, entry in rewrite.duplicated.items()
+        },
+    }
+
+
+def _rewrite_from_dict(record: dict[str, Any], mapped: Graph) -> Any:
+    from ..mapping.rewrite import DuplicatedLayer, RewriteReport
+
+    return RewriteReport(
+        graph=mapped,
+        origin_of=dict(record["origin_of"]),
+        duplicated={
+            original: DuplicatedLayer(
+                original=original,
+                axis=entry["axis"],
+                duplicates=list(entry["duplicates"]),
+                slices=list(entry["slices"]),
+                concat=entry["concat"],
+                ranges=[tuple(pair) for pair in entry["ranges"]],
+            )
+            for original, entry in record["duplicated"].items()
+        },
+    )
+
+
+def _dependencies_to_list(dependencies: Any) -> list[list[Any]]:
+    return [
+        [layer, set_index, [list(ref) for ref in predecessors]]
+        for (layer, set_index), predecessors in dependencies.deps.items()
+    ]
+
+
+def _dependencies_from_list(entries: list[Any], sets: dict[str, list[Rect]]) -> Any:
+    from ..core.dependencies import DependencyGraph
+
+    return DependencyGraph(
+        sets=sets,
+        deps={
+            (layer, set_index): [(ref[0], ref[1]) for ref in predecessors]
+            for layer, set_index, predecessors in entries
+        },
+    )
+
+
+def compiled_to_dict(
+    compiled: Any,
+    include_params: bool = False,
+    include_dependencies: bool = False,
+) -> dict[str, Any]:
+    """Serialize a :class:`~repro.core.pipeline.CompiledModel`.
+
+    ``mapped`` is stored as ``None`` when it is the canonical graph
+    (no duplication rewrite); set-level dependencies are only stored
+    when ``include_dependencies`` is set — they dominate the artifact
+    size and :func:`compiled_from_dict` leaves them ``None`` otherwise.
+    """
+    mapped_is_canonical = compiled.mapped is compiled.canonical
+    record: dict[str, Any] = {
+        "format": ARTIFACT_FORMAT,
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "arch": arch_to_dict(compiled.arch),
+        "options": options_to_dict(compiled.options),
+        "canonical": graph_to_dict(compiled.canonical, include_params=include_params),
+        "mapped": (
+            None
+            if mapped_is_canonical
+            else graph_to_dict(compiled.mapped, include_params=include_params)
+        ),
+        "placement": {
+            "pe_ranges": {
+                layer: list(pe_range)
+                for layer, pe_range in compiled.placement.pe_ranges.items()
+            }
+        },
+        "sets": _sets_to_dict(compiled.sets),
+        "schedule": schedule_to_dict(compiled.schedule),
+        "duplication": (
+            None
+            if compiled.duplication is None
+            else _duplication_to_dict(compiled.duplication)
+        ),
+        "rewrite": (
+            None if compiled.rewrite is None else _rewrite_to_dict(compiled.rewrite)
+        ),
+        "timings": dict(compiled.timings),
+        "diagnostics": list(compiled.diagnostics),
+    }
+    if include_dependencies and compiled.dependencies is not None:
+        record["dependencies"] = _dependencies_to_list(compiled.dependencies)
+    return record
+
+
+def compiled_from_dict(record: dict[str, Any]) -> Any:
+    """Deserialize a :class:`~repro.core.pipeline.CompiledModel`.
+
+    Placement tilings are recomputed from the mapped graph and the
+    crossbar geometry (they are deterministic, cheap, and much larger
+    than the stored ``pe_ranges``); dependencies are restored only when
+    the artifact carried them.
+    """
+    from ..core.pipeline import CompiledModel
+    from ..mapping.placement import Placement
+    from ..mapping.tiling import tile_graph
+
+    if record.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"not a {ARTIFACT_FORMAT} artifact (format={record.get('format')!r})"
+        )
+    version = record.get("format_version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ValueError(f"unsupported artifact format version {version!r}")
+
+    arch = arch_from_dict(record["arch"])
+    canonical = graph_from_dict(record["canonical"])
+    mapped = (
+        canonical if record["mapped"] is None else graph_from_dict(record["mapped"])
+    )
+    sets = _sets_from_dict(record["sets"])
+    placement = Placement(
+        arch=arch,
+        pe_ranges={
+            layer: (int(start), int(end))
+            for layer, (start, end) in record["placement"]["pe_ranges"].items()
+        },
+        tilings=tile_graph(mapped, arch.crossbar),
+    )
+    dependencies = None
+    if record.get("dependencies") is not None:
+        dependencies = _dependencies_from_list(record["dependencies"], sets)
+    return CompiledModel(
+        arch=arch,
+        options=options_from_dict(record["options"]),
+        canonical=canonical,
+        mapped=mapped,
+        placement=placement,
+        schedule=schedule_from_dict(record["schedule"]),
+        duplication=(
+            None
+            if record["duplication"] is None
+            else _duplication_from_dict(record["duplication"])
+        ),
+        rewrite=(
+            None
+            if record["rewrite"] is None
+            else _rewrite_from_dict(record["rewrite"], mapped)
+        ),
+        sets=sets,
+        dependencies=dependencies,
+        timings=dict(record.get("timings", {})),
+        diagnostics=list(record.get("diagnostics", [])),
+    )
+
+
+def dumps_compiled(
+    compiled: Any,
+    indent: Optional[int] = None,
+    include_params: bool = False,
+    include_dependencies: bool = False,
+) -> str:
+    """Serialize a compiled model to the artifact JSON string."""
+    return json.dumps(
+        compiled_to_dict(
+            compiled,
+            include_params=include_params,
+            include_dependencies=include_dependencies,
+        ),
+        indent=indent,
+    )
+
+
+def loads_compiled(text: str) -> Any:
+    """Deserialize a compiled model from an artifact JSON string."""
+    return compiled_from_dict(json.loads(text))
+
+
+def save_compiled(
+    compiled: Any,
+    path: str,
+    include_params: bool = False,
+    include_dependencies: bool = False,
+) -> None:
+    """Write a compiled model's artifact JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            dumps_compiled(
+                compiled,
+                indent=2,
+                include_params=include_params,
+                include_dependencies=include_dependencies,
+            )
+        )
+
+
+def load_compiled(path: str) -> Any:
+    """Read a compiled model back from :func:`save_compiled` output."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_compiled(handle.read())

@@ -1,0 +1,202 @@
+"""The public compilation API: :class:`Session`.
+
+A session binds a target architecture to a compilation cache and a
+pass manager, and exposes the three verbs users actually need::
+
+    from repro import Session, ScheduleOptions, paper_case_study
+
+    session = Session(paper_case_study(133))
+    compiled = session.compile(model)            # CompiledModel
+    metrics = session.evaluate(compiled)         # Eq. 2/3 metrics
+    results = session.sweep(["tinyyolov3"])      # the Fig. 7 grid
+
+Repeated compiles through one session share stage results via the
+session cache (preprocessing, tiling, duplication rewrites...), and
+hooks observe every pass as it runs.  ``compile`` accepts raw or
+canonical graphs; ``evaluate`` accepts a graph or an existing
+:class:`~repro.core.pipeline.CompiledModel`; ``sweep`` accepts
+benchmark specs or names.
+
+Compilation itself runs in the :class:`repro.core.passes.PassManager`;
+the legacy free function :func:`repro.core.pipeline.compile_model` is
+a shim over the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
+
+from .arch.config import ArchitectureConfig
+from .core.cache import CompilationCache
+from .core.passes import CompilationContext, PassManager, default_pass_manager
+from .core.pipeline import CompiledModel, ScheduleOptions
+from .ir.graph import Graph
+
+__all__ = ["Session", "SessionHooks"]
+
+
+@dataclass
+class SessionHooks:
+    """Optional observation points for a session's compilations.
+
+    Any subset of the callbacks may be set; unset ones are skipped.
+    ``on_pass_start(name, ctx)`` / ``on_pass_end(name, ctx, seconds)``
+    fire around every executed pass, ``on_compile_start(ctx)`` /
+    ``on_compile_end(compiled)`` around each whole compilation.
+    """
+
+    on_pass_start: Optional[Callable[[str, CompilationContext], None]] = None
+    on_pass_end: Optional[Callable[[str, CompilationContext, float], None]] = None
+    on_compile_start: Optional[Callable[[CompilationContext], None]] = None
+    on_compile_end: Optional[Callable[[CompiledModel], None]] = None
+
+
+class Session:
+    """Compilation facade binding an architecture, cache and passes.
+
+    Parameters
+    ----------
+    arch:
+        Target architecture of :meth:`compile`/:meth:`evaluate`.
+        (:meth:`sweep` derives per-point architectures from the paper's
+        ``PE_min + x`` rule and ignores this.)
+    cache:
+        ``True`` (default) creates a private
+        :class:`~repro.core.cache.CompilationCache`; pass an existing
+        cache to share stage results between sessions (e.g. a baseline
+        and a tuned configuration on different PE budgets), or
+        ``None``/``False`` to compile uncached.
+    hooks:
+        A :class:`SessionHooks` (or any object with the same optional
+        callables), or a sequence of them.
+    pass_manager:
+        Custom :class:`~repro.core.passes.PassManager`; defaults to the
+        standard pass order.
+    """
+
+    def __init__(
+        self,
+        arch: ArchitectureConfig,
+        *,
+        cache: Union[CompilationCache, bool, None] = True,
+        hooks: Union[Any, Sequence[Any], None] = None,
+        pass_manager: Optional[PassManager] = None,
+    ) -> None:
+        self.arch = arch
+        if cache is True:
+            self.cache: Optional[CompilationCache] = CompilationCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        if hooks is None:
+            self.hooks: tuple[Any, ...] = ()
+        elif isinstance(hooks, (list, tuple)):
+            self.hooks = tuple(hooks)
+        else:
+            self.hooks = (hooks,)
+        self._custom_pass_manager = pass_manager is not None
+        self.pass_manager = pass_manager if pass_manager is not None else default_pass_manager()
+
+    def __repr__(self) -> str:
+        cached = "cached" if self.cache is not None else "uncached"
+        return f"Session({self.arch.summary()}, {cached})"
+
+    # -- compile -------------------------------------------------------
+
+    def compile(
+        self,
+        graph: Graph,
+        options: Optional[ScheduleOptions] = None,
+        *,
+        assume_canonical: bool = False,
+    ) -> CompiledModel:
+        """Compile ``graph`` for this session's architecture.
+
+        ``options`` defaults to the paper's best configuration
+        (``wdup`` mapping + ``clsa-cim`` scheduling); registered
+        third-party mapping/scheduler names are accepted the same way
+        as builtins.
+        """
+        ctx = CompilationContext(
+            graph=graph,
+            arch=self.arch,
+            options=options if options is not None else ScheduleOptions(),
+            cache=self.cache,
+            assume_canonical=assume_canonical,
+        )
+        self._fire("on_compile_start", ctx)
+        compiled = self.pass_manager.run(ctx, self.hooks).to_compiled()
+        self._fire("on_compile_end", compiled)
+        return compiled
+
+    # -- evaluate ------------------------------------------------------
+
+    def evaluate(
+        self,
+        model: Union[Graph, CompiledModel],
+        options: Optional[ScheduleOptions] = None,
+        *,
+        assume_canonical: bool = False,
+    ) -> "Metrics":  # noqa: F821 - forward ref to repro.sim
+        """Metrics of a compiled model (compiling a graph first).
+
+        ``options`` is only consulted when ``model`` is a graph.
+        """
+        if isinstance(model, CompiledModel):
+            return model.evaluate()
+        compiled = self.compile(model, options, assume_canonical=assume_canonical)
+        return compiled.evaluate()
+
+    # -- sweep ---------------------------------------------------------
+
+    def sweep(
+        self,
+        benchmarks: Sequence[Union[str, "BenchmarkSpec"]],  # noqa: F821
+        xs: Optional[Sequence[int]] = None,
+        *,
+        jobs: Optional[int] = 1,
+        options_overrides: Optional[dict] = None,
+        graphs: Optional[dict[str, Graph]] = None,
+    ) -> list["SweepResult"]:  # noqa: F821 - forward ref to repro.analysis
+        """Run the paper's configuration grid (Fig. 7) per benchmark.
+
+        ``benchmarks`` mixes :class:`~repro.models.zoo.BenchmarkSpec`
+        objects and benchmark names; ``xs`` defaults to the paper's
+        extra-PE values.  With ``jobs > 1`` config points fan out over
+        worker processes (each holding its own cache); the serial path
+        shares this session's cache, so repeated sweeps reuse stages.
+        The session's hooks and any custom pass manager apply to every
+        point — since neither can cross a process boundary, setting
+        them forces the sweep serial (with a ``RuntimeWarning`` when
+        ``jobs > 1`` was requested).
+        """
+        from .analysis.sweep import PAPER_XS, SweepExecutor
+        from .models.zoo import benchmark_by_name
+
+        specs = [
+            benchmark_by_name(item) if isinstance(item, str) else item
+            for item in benchmarks
+        ]
+        executor = SweepExecutor(
+            jobs=jobs,
+            use_cache=self.cache is not None,
+            cache=self.cache,
+            pass_manager=self.pass_manager if self._custom_pass_manager else None,
+            hooks=self.hooks,
+        )
+        return executor.run_many(
+            specs,
+            xs=tuple(xs) if xs is not None else PAPER_XS,
+            options_overrides=options_overrides,
+            graphs=graphs,
+        )
+
+    # -- helpers -------------------------------------------------------
+
+    def _fire(self, event: str, payload: Any) -> None:
+        for hook in self.hooks:
+            callback = getattr(hook, event, None)
+            if callback is not None:
+                callback(payload)

@@ -100,6 +100,94 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_sweep_rows_per_set(self, capsys):
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                     "--format", "csv"])
+        assert code == 0
+        fine_out = capsys.readouterr().out
+        code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                     "--format", "csv", "--rows-per-set", "8"])
+        assert code == 0
+        coarse_out = capsys.readouterr().out
+        # Coarser sets change the schedule (different speedups).
+        assert coarse_out != fine_out
+        assert coarse_out.splitlines()[0] == fine_out.splitlines()[0]  # same header
+
+
+class TestScheduleOptionKnobs:
+    def test_order_mode_static(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--order-mode", "static"])
+        assert code == 0
+        assert "wdup+xinf" in capsys.readouterr().out
+
+    def test_knobs_reach_schedule_options(self, capsys, monkeypatch):
+        """Every new flag must land on the ScheduleOptions the Session
+        compiles with (exit code 0 alone would not catch lost wiring)."""
+        from repro.session import Session
+
+        captured = []
+        original = Session.compile
+
+        def spy(self, graph, options=None, **kwargs):
+            if options is not None:
+                captured.append(options)
+            return original(self, graph, options, **kwargs)
+
+        monkeypatch.setattr(Session, "compile", spy)
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--order-mode", "static",
+                     "--duplication-solver", "greedy",
+                     "--duplication-axis", "height",
+                     "--d-max-cap", "2",
+                     "--rows-per-set", "3"])
+        assert code == 0
+        options = captured[0]
+        assert options.order_mode == "static"
+        assert options.duplication_solver == "greedy"
+        assert options.duplication_axis == "height"
+        assert options.d_max_cap == 2
+        assert options.granularity.rows_per_set == 3
+
+    def test_duplication_solver_greedy(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--duplication-solver", "greedy"])
+        assert code == 0
+        assert "duplicated layers" in capsys.readouterr().out
+
+    def test_duplication_axis_height(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--duplication-axis", "height"])
+        assert code == 0
+
+    def test_d_max_cap_limits_duplication(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--extra-pes", "8", "--d-max-cap", "1"])
+        assert code == 0
+        # Capping every factor at 1 forbids duplication entirely.
+        out = capsys.readouterr().out
+        dup_line = next(l for l in out.splitlines() if "duplicated layers" in l)
+        assert dup_line.rstrip().endswith("none")
+
+    def test_invalid_knob_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--model", "tiny_sequential",
+                  "--order-mode", "bogus"])
+        with pytest.raises(SystemExit):
+            main(["schedule", "--model", "tiny_sequential",
+                  "--duplication-solver", "bogus"])
+        with pytest.raises(SystemExit):
+            main(["schedule", "--model", "tiny_sequential",
+                  "--duplication-axis", "diagonal"])
+
+    def test_schedule_help_documents_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--order-mode", "--duplication-solver",
+                     "--duplication-axis", "--d-max-cap"):
+            assert flag in out
+
 
 class TestScheduleAnalysisFlags:
     def test_critical_path_flag(self, capsys):

@@ -139,7 +139,7 @@ class TestExecutor:
 
         b1 = GraphBuilder("same")
         x = b1.input((9, 9, 2), name="in")
-        c = b1.conv2d(x, 4, kernel=3, strides=2, padding="same", use_bias=False)
+        b1.conv2d(x, 4, kernel=3, strides=2, padding="same", use_bias=False)
         g1 = b1.graph
         g1["conv2d"].weights = weights
 
