@@ -107,6 +107,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--d-max-cap", type=int, default=None, metavar="D",
         help="cap per-layer duplication factors at D (default: uncapped)",
     )
+    schedule.add_argument(
+        "--engine", default="csr", choices=("csr", "python"),
+        help="Stage IV implementation: columnar CSR kernels (default) "
+             "or the pure-Python reference (identical schedules; for "
+             "cross-checks and regression diagnosis)",
+    )
+    schedule.add_argument(
+        "--timings", action="store_true",
+        help="print the per-pass compilation timing table",
+    )
     schedule.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     schedule.add_argument(
         "--critical-path", action="store_true",
@@ -164,6 +174,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         duplication_solver=args.duplication_solver,
         duplication_axis=args.duplication_axis,
         d_max_cap=args.d_max_cap,
+        engine=args.engine,
     )
     session = Session(arch)
     compiled = session.compile(canonical, options, assume_canonical=True)
@@ -195,6 +206,16 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         }
         rows.append(("duplicated layers", str(duplicated) if duplicated else "none"))
     print(format_table(["Field", "Value"], rows))
+    if args.timings:
+        print()
+        timing_rows = [
+            (name, f"{seconds * 1e3:.2f} ms")
+            for name, seconds in compiled.timings.items()
+        ]
+        timing_rows.append(
+            ("total", f"{sum(compiled.timings.values()) * 1e3:.2f} ms")
+        )
+        print(format_table(["Pass", "Wall clock"], timing_rows))
     if args.gantt:
         print()
         print(compiled.gantt())
@@ -220,7 +241,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             print("\nbatch pipelining requires --scheduling clsa-cim")
             return 2
         result = cross_layer_schedule_batch(
-            compiled.mapped, compiled.dependencies, args.batch
+            compiled.mapped, compiled.dependencies, args.batch, engine=args.engine
         )
         print(
             f"\nbatch {args.batch}: makespan {result.makespan} cycles, "

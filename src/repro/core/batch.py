@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..ir.graph import Graph
 from .dependencies import DependencyGraph
+from .kernels import ENGINES, csr_batch_schedule, set_graph_arrays
 from .schedule import Schedule, SetTask
 
 #: A (image, layer, set index) triple identifying a batched set.
@@ -71,6 +72,7 @@ def cross_layer_schedule_batch(
     graph: Graph,
     dependency_graph: DependencyGraph,
     batch_size: int,
+    engine: str = "csr",
 ) -> BatchScheduleResult:
     """Stage IV extended to ``batch_size`` pipelined inferences.
 
@@ -79,9 +81,25 @@ def cross_layer_schedule_batch(
     served earliest-image-first (FIFO across the batch), tie-broken by
     set index, which keeps per-image latency close to the single-image
     schedule while filling idle PE time with later images.
+
+    ``engine='csr'`` (default) runs the columnar kernel of
+    :mod:`repro.core.kernels`; ``engine='python'`` the reference
+    implementation below.  Both produce identical schedules.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "csr":
+        schedule, spans = csr_batch_schedule(
+            set_graph_arrays(dependency_graph), batch_size
+        )
+        return BatchScheduleResult(
+            schedule=schedule,
+            batch_size=batch_size,
+            makespan=schedule.makespan,
+            image_spans=spans,
+        )
     sets = dependency_graph.sets
 
     remaining: dict[BatchRef, int] = {}
@@ -142,12 +160,15 @@ def cross_layer_schedule_batch(
             f"batch scheduler placed {len(schedule.tasks)} of {expected} sets"
         )
 
-    spans = []
-    for image in range(batch_size):
-        image_tasks = [t for t in schedule.tasks if t.image == image]
-        spans.append(
-            (min(t.start for t in image_tasks), max(t.end for t in image_tasks))
-        )
+    first = [None] * batch_size
+    last = [0] * batch_size
+    for task in schedule.tasks:  # one pass over all images' tasks
+        image = task.image
+        if first[image] is None or task.start < first[image]:
+            first[image] = task.start
+        if task.end > last[image]:
+            last[image] = task.end
+    spans = list(zip(first, last))
     return BatchScheduleResult(
         schedule=schedule,
         batch_size=batch_size,

@@ -36,7 +36,7 @@ class RectIndex:
     FINEST granularity.
     """
 
-    __slots__ = ("_starts", "_entries", "_max_rows")
+    __slots__ = ("_starts", "_entries", "_max_rows", "_presorted")
 
     def __init__(self, rects: list[Rect]) -> None:
         entries = sorted(
@@ -47,6 +47,12 @@ class RectIndex:
         self._entries = entries
         self._starts = [entry[0] for entry in entries]
         self._max_rows = max((entry[3].r1 - entry[3].r0 for entry in entries), default=1)
+        # Stage I emits sets in row-major order, so sorting by (r0, c0)
+        # usually *is* set-index order; when it is, query() can return
+        # hits in entry order and skip the final per-query sort.
+        self._presorted = all(
+            earlier[2] < later[2] for earlier, later in zip(entries, entries[1:])
+        )
 
     def query(self, region: Rect) -> list[tuple[int, Rect]]:
         """Sets intersecting ``region``, in original set order."""
@@ -62,7 +68,8 @@ class RectIndex:
             _, _, index, rect = entries[pos]
             if rect.r1 > region.r0 and rect.c0 < region.c1 and rect.c1 > region.c0:
                 hits.append((index, rect))
-        hits.sort(key=lambda hit: hit[0])
+        if not self._presorted:
+            hits.sort(key=lambda hit: hit[0])
         return hits
 
 

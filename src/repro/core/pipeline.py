@@ -56,6 +56,12 @@ from .cross_layer import (
 )
 from .dependencies import DependencyGraph, determine_dependencies
 from .intra_layer import intra_layer_order
+from .kernels import (
+    ENGINES,
+    csr_dynamic_schedule,
+    csr_static_schedule,
+    set_graph_arrays,
+)
 from .layer_by_layer import layer_by_layer_schedule
 from .schedule import Schedule
 from .sets import FINEST, SetGranularity, determine_sets
@@ -86,6 +92,12 @@ class ScheduleOptions:
         ``'dynamic'`` (ready-order list scheduling, the paper's
         maximum-achievable setting) or ``'static'`` (fixed Stage III
         order; ablation).
+    engine:
+        Stage IV implementation: ``'csr'`` (default; the columnar
+        kernels of :mod:`repro.core.kernels`) or ``'python'`` (the
+        pure-Python reference).  Both produce identical schedules
+        point-wise; the option exists for cross-checking and
+        regression diagnosis.
     intra_layer_policy:
         Stage III ordering policy name (used by ``'static'`` mode).
     duplication_solver:
@@ -105,6 +117,7 @@ class ScheduleOptions:
     duplication_solver: str = "dp"
     duplication_axis: str = "width"
     d_max_cap: Optional[int] = None
+    engine: str = "csr"
 
     def __post_init__(self) -> None:
         # Builtin names validate without touching the registries so
@@ -129,6 +142,10 @@ class ScheduleOptions:
         if self.order_mode not in ("dynamic", "static"):
             raise ValueError(
                 f"order_mode must be 'dynamic' or 'static', got {self.order_mode!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
 
     @property
@@ -408,6 +425,15 @@ def schedule_stage(
     assert dependencies is not None, "clsa-cim scheduling requires dependencies"
 
     def compute() -> Schedule:
+        if options.engine == "csr":
+            # The columnar kernels self-validate with vectorized
+            # dependency/resource checks (same invariants as
+            # validate_schedule, no per-set Python objects).
+            arrays = set_graph_arrays(dependencies)
+            if options.order_mode == "dynamic":
+                return csr_dynamic_schedule(arrays)
+            order = intra_layer_order(sets, options.intra_layer_policy)
+            return csr_static_schedule(arrays, order)
         if options.order_mode == "dynamic":
             schedule = cross_layer_schedule_dynamic(mapped, dependencies)
         else:
@@ -425,6 +451,7 @@ def schedule_stage(
             "clsa-cim",
             options.order_mode,
             options.intra_layer_policy,
+            options.engine,
         ),
         compute,
     )

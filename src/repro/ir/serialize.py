@@ -36,8 +36,13 @@ _PARAM_FIELDS = ("weights", "bias", "gamma", "beta", "mean", "variance")
 #: Schema version written into every serialized graph.
 FORMAT_VERSION = 1
 
-#: Schema version of the compiled-artifact format.
-ARTIFACT_FORMAT_VERSION = 1
+#: Schema version of the compiled-artifact format.  Version 2 added
+#: the columnar schedule record (``schedule.columns`` instead of
+#: ``schedule.tasks``); version-1 artifacts still load.
+ARTIFACT_FORMAT_VERSION = 2
+
+#: Artifact schema versions the loader accepts.
+_SUPPORTED_ARTIFACT_VERSIONS = (1, 2)
 
 #: Document marker of the compiled-artifact format.
 ARTIFACT_FORMAT = "clsa-cim-compiled"
@@ -231,12 +236,48 @@ def options_from_dict(record: dict[str, Any]) -> Any:
             raise
         options = object.__new__(ScheduleOptions)
         for field in dataclasses.fields(ScheduleOptions):
-            object.__setattr__(options, field.name, kwargs[field.name])
+            # Fields added after an artifact was written (e.g. the
+            # scheduling engine) fall back to their defaults.
+            value = kwargs.get(field.name, field.default)
+            object.__setattr__(options, field.name, value)
         return options
 
 
+#: Column names of the columnar schedule record, in storage order.
+_SCHEDULE_COLUMNS = (
+    "layer_id",
+    "set_index",
+    "start",
+    "end",
+    "image",
+    "r0",
+    "c0",
+    "r1",
+    "c1",
+)
+
+
 def schedule_to_dict(schedule: Any) -> dict[str, Any]:
-    """Serialize a :class:`~repro.core.schedule.Schedule`."""
+    """Serialize a :class:`~repro.core.schedule.Schedule`.
+
+    Natively columnar schedules (built by the CSR kernel engines) are
+    stored in columnar form — one list per column plus the layer-name
+    table — which round-trips without materializing any
+    :class:`~repro.core.schedule.SetTask`.  Row-form schedules keep the
+    historical per-task record.
+    """
+    if getattr(schedule, "has_columns", False):
+        cols = schedule.columns()
+        return {
+            "policy": schedule.policy,
+            "columns": {
+                "layers": list(cols.layers),
+                **{
+                    name: getattr(cols, name).tolist()
+                    for name in _SCHEDULE_COLUMNS
+                },
+            },
+        }
     return {
         "policy": schedule.policy,
         "tasks": [
@@ -254,9 +295,29 @@ def schedule_to_dict(schedule: Any) -> dict[str, Any]:
 
 
 def schedule_from_dict(record: dict[str, Any]) -> Any:
-    """Deserialize a :class:`~repro.core.schedule.Schedule`."""
-    from ..core.schedule import Schedule, SetTask
+    """Deserialize a :class:`~repro.core.schedule.Schedule`.
 
+    Accepts both the columnar and the per-task record; columnar input
+    reconstructs a columnar schedule (tasks stay lazy).
+    """
+    from ..core.schedule import Schedule, ScheduleColumns, SetTask
+
+    columns = record.get("columns")
+    if columns is not None:
+        int32 = ("layer_id", "set_index", "image", "r0", "c0", "r1", "c1")
+        return Schedule(
+            policy=record["policy"],
+            columns=ScheduleColumns(
+                layers=tuple(columns["layers"]),
+                **{
+                    name: np.asarray(
+                        columns[name],
+                        dtype=np.int32 if name in int32 else np.int64,
+                    )
+                    for name in _SCHEDULE_COLUMNS
+                },
+            ),
+        )
     return Schedule(
         policy=record["policy"],
         tasks=[
@@ -439,7 +500,7 @@ def compiled_from_dict(record: dict[str, Any]) -> Any:
             f"not a {ARTIFACT_FORMAT} artifact (format={record.get('format')!r})"
         )
     version = record.get("format_version")
-    if version != ARTIFACT_FORMAT_VERSION:
+    if version not in _SUPPORTED_ARTIFACT_VERSIONS:
         raise ValueError(f"unsupported artifact format version {version!r}")
 
     arch = arch_from_dict(record["arch"])

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from ..core.dependencies import DependencyGraph, SetRef
+from ..core.kernels import csr_replay, set_graph_arrays
 from ..core.pipeline import CompiledModel
 from ..core.schedule import Schedule, SetTask
 
@@ -48,7 +49,7 @@ class SimulationResult:
 
     @property
     def num_tasks(self) -> int:
-        return len(self.schedule.tasks)
+        return self.schedule.num_tasks
 
 
 def simulate(
@@ -62,6 +63,13 @@ def simulate(
     schedule's makespan; with a cost model the engine re-schedules with
     per-edge delays (data arrives ``delay`` cycles after the producer
     set completes).
+
+    The zero-cost replay runs on the columnar CSR kernels when the
+    compilation used ``engine='csr'`` (the default) — integer heaps
+    over preallocated arrays, no per-event dict churn — and on the
+    reference event loop below otherwise (or whenever a cost model
+    makes per-edge pricing necessary).  Both paths produce the same
+    schedule and stall profile.
     """
     if compiled.dependencies is None:
         raise ValueError(
@@ -69,6 +77,19 @@ def simulate(
             "scheduling='clsa-cim' (the layer-by-layer baseline has no set graph)"
         )
     dependency_graph = compiled.dependencies
+
+    if cost_model is None and getattr(compiled.options, "engine", "csr") == "csr":
+        schedule, stalls, events_processed = csr_replay(
+            set_graph_arrays(dependency_graph), compiled.schedule.policy
+        )
+        return SimulationResult(
+            schedule=schedule,
+            finish_cycles=schedule.makespan,
+            events_processed=events_processed,
+            total_edge_delay_cycles=0,
+            per_layer_stall=stalls,
+        )
+
     sets = dependency_graph.sets
 
     remaining: dict[SetRef, int] = {}
@@ -146,11 +167,10 @@ def simulate(
             f"{dependency_graph.num_sets()} sets"
         )
 
-    stalls = {}
-    for layer in schedule.layers():
-        span_start, span_end = schedule.layer_span(layer)
-        busy = sum(task.duration for task in schedule.tasks_of(layer))
-        stalls[layer] = (span_end - span_start) - busy
+    stalls = {
+        layer: (span_end - span_start) - busy
+        for layer, (span_start, span_end, busy) in schedule.per_layer_stats().items()
+    }
 
     return SimulationResult(
         schedule=schedule,

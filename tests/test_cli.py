@@ -149,6 +149,43 @@ class TestScheduleOptionKnobs:
         assert options.d_max_cap == 2
         assert options.granularity.rows_per_set == 3
 
+    def test_engine_flag_reaches_options(self, capsys, monkeypatch):
+        from repro.session import Session
+
+        captured = []
+        original = Session.compile
+
+        def spy(self, graph, options=None, **kwargs):
+            if options is not None:
+                captured.append(options)
+            return original(self, graph, options, **kwargs)
+
+        monkeypatch.setattr(Session, "compile", spy)
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--engine", "python"])
+        assert code == 0
+        assert captured[0].engine == "python"
+
+    def test_engines_print_identical_metrics(self, capsys):
+        outputs = []
+        for engine in ("csr", "python"):
+            assert main(["schedule", "--model", "tiny_sequential",
+                         "--engine", engine]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_timings_table(self, capsys):
+        code = main(["schedule", "--model", "tiny_sequential", "--timings"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pass" in out and "Wall clock" in out
+        for pass_name in ("preprocess", "schedule", "total"):
+            assert pass_name in out
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--model", "tiny_sequential", "--engine", "julia"])
+
     def test_duplication_solver_greedy(self, capsys):
         code = main(["schedule", "--model", "tiny_sequential",
                      "--duplication-solver", "greedy"])

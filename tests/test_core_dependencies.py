@@ -208,3 +208,33 @@ class TestRectIndex:
         region = Rect(0, 0, 10, 10)
         assert index.query(region) == self.brute_force(rects, region)
         assert all(not r.is_empty() for _, r in index.query(region))
+
+    def test_row_major_entry_order_skips_query_sort(self):
+        """Stage I emits row-major sets: (r0, c0) order *is* index order,
+        so the fast path (no per-query sort) must still return hits
+        sorted by set index, pinned against the naive scan."""
+        from repro.core import RectIndex
+        from repro.core.sets import partition_ofm
+        from repro.ir import Shape
+
+        rects = partition_ofm(Shape(16, 8, 3))  # row-major stripes
+        index = RectIndex(rects)
+        assert index._presorted
+        for region in (Rect(0, 0, 3, 8), Rect(5, 2, 11, 7), Rect(0, 0, 16, 8)):
+            hits = index.query(region)
+            assert hits == self.brute_force(rects, region)
+            assert [i for i, _ in hits] == sorted(i for i, _ in hits)
+
+    def test_shuffled_entry_order_still_sorts_by_index(self):
+        """When (r0, c0) order disagrees with set order the final sort
+        is kept, so query order matches the naive scan exactly."""
+        import random
+
+        from repro.core import RectIndex
+
+        rects = [Rect(r, 0, r + 1, 8) for r in range(12)]
+        random.Random(7).shuffle(rects)
+        index = RectIndex(rects)
+        assert not index._presorted
+        region = Rect(2, 0, 9, 8)
+        assert index.query(region) == self.brute_force(rects, region)
