@@ -13,6 +13,7 @@ The supported entry point is the :class:`Session` facade::
     compiled = session.compile(model)          # CompiledModel
     metrics = session.evaluate(compiled)       # Eq. 2/3 metrics
     results = session.sweep(["tinyyolov3"])    # the Fig. 7 grid
+    explored = session.explore("tinyyolov3")   # Pareto search (DSE)
 
     compiled.save("model.clsa.json")           # persistent artifact
     CompiledModel.load("model.clsa.json")      # ... and back
@@ -42,9 +43,12 @@ Subpackages
     Model zoo matching the paper's benchmarks (Tables I and II).
 ``repro.analysis``
     Sweeps, tables and Gantt exports regenerating the paper's artifacts.
+``repro.explore``
+    Design-space exploration: search strategies, multi-objective
+    Pareto frontiers, and resumable run stores.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .arch import ArchitectureConfig, CrossbarSpec, paper_case_study  # noqa: E402
 from .core import (  # noqa: E402

@@ -7,6 +7,7 @@ from .critical_path import (
     format_critical_path,
 )
 from .export import CSV_HEADER, sweep_to_csv, sweep_to_json
+from .frontier import frontier_report, frontier_to_csv, frontier_to_json
 from .report import (
     fig6c_report,
     fig7a_report,
@@ -17,11 +18,15 @@ from .report import (
 from .sweep import (
     PAPER_XS,
     ConfigPoint,
+    EvalTask,
     SweepExecutor,
     SweepResult,
     SweepTask,
+    TaskEval,
     benchmark_sweep,
+    evaluate_eval_task,
     evaluate_task,
+    evaluate_task_full,
     grid_tasks,
     sweep_all,
 )
@@ -31,12 +36,16 @@ __all__ = [
     "CSV_HEADER",
     "ConfigPoint",
     "CriticalStep",
+    "EvalTask",
     "PAPER_XS",
     "SweepExecutor",
     "SweepResult",
     "SweepTask",
+    "TaskEval",
     "benchmark_sweep",
+    "evaluate_eval_task",
     "evaluate_task",
+    "evaluate_task_full",
     "grid_tasks",
     "critical_layer_summary",
     "critical_path",
@@ -46,6 +55,9 @@ __all__ = [
     "fig7b_report",
     "format_critical_path",
     "format_table",
+    "frontier_report",
+    "frontier_to_csv",
+    "frontier_to_json",
     "headline_summary",
     "layer_utilization_report",
     "sweep_all",

@@ -10,8 +10,13 @@ from .sweep import SweepResult
 #: Column order of the CSV export.
 CSV_HEADER = (
     "benchmark,config,extra_pes,label,latency_cycles,latency_ns,"
-    "speedup,utilization,num_pes"
+    "speedup,utilization,num_pes,energy_uj"
 )
+
+
+def _energy_cell(energy_uj) -> str:
+    """Energy column value (empty for hand-built points without one)."""
+    return "" if energy_uj is None else f"{energy_uj:.3f}"
 
 
 def sweep_to_csv(results: Sequence[SweepResult]) -> str:
@@ -22,7 +27,8 @@ def sweep_to_csv(results: Sequence[SweepResult]) -> str:
         lines.append(
             f"{result.benchmark},layer-by-layer,0,layer-by-layer,"
             f"{baseline.latency_cycles},{baseline.latency_ns:.1f},"
-            f"1.0,{baseline.utilization:.6f},{baseline.num_pes}"
+            f"1.0,{baseline.utilization:.6f},{baseline.num_pes},"
+            f"{_energy_cell(result.baseline_energy_uj)}"
         )
         for point in result.points:
             metrics = point.metrics
@@ -30,7 +36,8 @@ def sweep_to_csv(results: Sequence[SweepResult]) -> str:
                 f"{result.benchmark},{point.config},{point.extra_pes},"
                 f"{point.label},{metrics.latency_cycles},"
                 f"{metrics.latency_ns:.1f},{point.speedup:.6f},"
-                f"{point.utilization:.6f},{metrics.num_pes}"
+                f"{point.utilization:.6f},{metrics.num_pes},"
+                f"{_energy_cell(point.energy_uj)}"
             )
     return "\n".join(lines)
 
@@ -47,6 +54,7 @@ def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str
                     "latency_cycles": result.baseline.latency_cycles,
                     "utilization": result.baseline.utilization,
                     "num_pes": result.baseline.num_pes,
+                    "energy_uj": result.baseline_energy_uj,
                 },
                 "points": [
                     {
@@ -57,6 +65,7 @@ def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str
                         "speedup": point.speedup,
                         "utilization": point.utilization,
                         "num_pes": point.metrics.num_pes,
+                        "energy_uj": point.energy_uj,
                     }
                     for point in result.points
                 ],

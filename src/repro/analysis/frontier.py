@@ -1,0 +1,92 @@
+"""Reporting and export of exploration results (Pareto frontiers).
+
+The counterparts of :mod:`repro.analysis.export` for the design-space
+exploration engine: render an
+:class:`~repro.explore.engine.ExplorationResult` as a human-readable
+table, or flatten its frontier (and optionally the full evaluation
+log) into CSV/JSON for downstream tooling.
+
+These functions consume the exploration result duck-typed (anything
+with ``objectives``, ``frontier`` and ``counters`` works), so this
+module stays importable without loading :mod:`repro.explore`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .tables import format_table
+
+__all__ = [
+    "frontier_report",
+    "frontier_to_csv",
+    "frontier_to_json",
+]
+
+
+def _point_columns(result) -> list[str]:
+    """Union of dimension names across frontier points, sorted."""
+    names: set[str] = set()
+    for entry in result.frontier:
+        names.update(entry.point)
+    return sorted(names)
+
+
+def frontier_report(result) -> str:
+    """Human-readable frontier table plus run counters."""
+    columns = _point_columns(result)
+    header = list(result.objectives) + columns
+    rows = []
+    entries = sorted(
+        result.frontier, key=lambda e: e.vector
+    )  # ordered along the first objective
+    for entry in entries:
+        row = [f"{entry.values[name]:g}" for name in result.objectives]
+        row += [str(entry.point.get(name, "")) for name in columns]
+        rows.append(tuple(row))
+    title = f"Pareto frontier over ({', '.join(result.objectives)})"
+    table = (
+        format_table(header, rows)
+        if rows
+        else "(empty frontier - no feasible full evaluations)"
+    )
+    return f"{title}\n{table}\n{result.counters.summary()}"
+
+
+def frontier_to_csv(result) -> str:
+    """Frontier as CSV: objective columns then dimension columns."""
+    columns = _point_columns(result)
+    lines = [",".join(list(result.objectives) + columns)]
+    for entry in sorted(result.frontier, key=lambda e: e.vector):
+        values = [f"{entry.values[name]:.6g}" for name in result.objectives]
+        values += [str(entry.point.get(name, "")) for name in columns]
+        lines.append(",".join(values))
+    return "\n".join(lines)
+
+
+def frontier_to_json(result, indent: Optional[int] = 2) -> str:
+    """Exploration result as JSON: frontier, counters, run metadata."""
+    payload = {
+        "strategy": result.strategy,
+        "budget": result.budget,
+        "objectives": list(result.objectives),
+        "counters": {
+            "evaluated_full": result.counters.evaluated_full,
+            "evaluated_proxy": result.counters.evaluated_proxy,
+            "reused_full": result.counters.reused_full,
+            "reused_proxy": result.counters.reused_proxy,
+            "infeasible": result.counters.infeasible,
+            "compiles": result.counters.compiles,
+        },
+        "store": result.store_path,
+        "frontier": [
+            {
+                "fingerprint": entry.key,
+                "values": entry.values,
+                "point": entry.point,
+            }
+            for entry in sorted(result.frontier, key=lambda e: e.vector)
+        ],
+    }
+    return json.dumps(payload, indent=indent)

@@ -19,6 +19,14 @@ optionally-parallel engine:
   can be created) and results stream back incrementally via
   :meth:`SweepExecutor.iter_points`.
 
+The executor is not limited to the paper's grid: an :class:`EvalTask`
+names an arbitrary ``(architecture, options)`` configuration, and
+:meth:`SweepExecutor.iter_task_evals` evaluates any stream of them —
+this is the fan-out substrate of the design-space exploration engine
+(:mod:`repro.explore`), whose strategies produce task streams instead
+of a fixed grid.  Every evaluation scores the same objectives the
+explorer uses: latency metrics plus a first-order energy estimate.
+
 Serial, cached, and parallel execution produce identical numbers; the
 tests assert this point-wise.
 """
@@ -32,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
+from ..arch.config import ArchitectureConfig
 from ..arch.presets import paper_case_study
 from ..core.cache import CompilationCache
 from ..core.pipeline import ScheduleOptions, preprocess_stage
@@ -40,6 +49,7 @@ from ..ir.graph import Graph
 from ..mapping.tiling import minimum_pe_requirement
 from ..models.zoo import BenchmarkSpec
 from ..session import Session
+from ..sim.energy import EnergyReport, estimate_energy
 from ..sim.metrics import Metrics
 
 #: The paper's extra-PE sweep values (Sec. V-B).
@@ -48,7 +58,13 @@ PAPER_XS = (4, 8, 16, 32)
 
 @dataclass(frozen=True)
 class ConfigPoint:
-    """One evaluated (configuration, x) point."""
+    """One evaluated (configuration, x) point.
+
+    ``energy_uj`` is the first-order inference energy estimate of
+    :func:`repro.sim.energy.estimate_energy` — the same objective the
+    exploration engine scores — so the sweep and explore paths report
+    comparable numbers.  It is ``None`` only for hand-built points.
+    """
 
     benchmark: str
     config: str  # 'layer-by-layer' | 'wdup' | 'xinf' | 'wdup+xinf'
@@ -56,6 +72,7 @@ class ConfigPoint:
     metrics: Metrics
     speedup: float
     utilization: float
+    energy_uj: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -75,6 +92,8 @@ class SweepResult:
     min_pes: int
     baseline: Metrics
     points: list[ConfigPoint] = field(default_factory=list)
+    #: Energy estimate of the layer-by-layer baseline, in microjoules.
+    baseline_energy_uj: Optional[float] = None
 
     def best_speedup(self) -> ConfigPoint:
         """The point with the highest speedup."""
@@ -83,6 +102,15 @@ class SweepResult:
     def best_utilization(self) -> ConfigPoint:
         """The point with the highest utilization."""
         return max(self.points, key=lambda p: p.utilization)
+
+    def best_energy(self) -> ConfigPoint:
+        """The point with the lowest estimated inference energy."""
+        scored = [p for p in self.points if p.energy_uj is not None]
+        if not scored:
+            raise ValueError(
+                f"{self.benchmark}: no energy estimates on any config point"
+            )
+        return min(scored, key=lambda p: p.energy_uj)
 
     def series(self, config: str) -> list[ConfigPoint]:
         """Points of one configuration, ordered by extra PEs."""
@@ -125,6 +153,85 @@ def grid_tasks(spec: BenchmarkSpec, xs: Sequence[int] = PAPER_XS) -> list[SweepT
     return tasks
 
 
+@dataclass(frozen=True)
+class EvalTask:
+    """One arbitrary ``(architecture, options)`` evaluation.
+
+    The generalization of :class:`SweepTask` beyond the paper's grid:
+    anything that can name an architecture and schedule options — a
+    grid cell, a random sample, an evolutionary mutant — becomes an
+    ``EvalTask`` and flows through the same cached/parallel executor.
+    Plain-data and picklable; ``key`` identifies the task in streamed
+    results and must be unique within one stream.
+    """
+
+    key: str
+    arch: ArchitectureConfig
+    options: ScheduleOptions
+    #: Skip the energy estimate (proxy evaluations want latency only).
+    want_energy: bool = True
+
+
+@dataclass(frozen=True)
+class TaskEval:
+    """The scored outcome of one :class:`EvalTask`."""
+
+    metrics: Metrics
+    energy: Optional[EnergyReport] = None
+
+    @property
+    def energy_uj(self) -> Optional[float]:
+        """Total estimated inference energy in microjoules."""
+        return None if self.energy is None else self.energy.total_uj
+
+
+def evaluate_eval_task(
+    canonical: Graph,
+    task: EvalTask,
+    cache: Optional[CompilationCache] = None,
+    pass_manager=None,
+    hooks=(),
+) -> TaskEval:
+    """Compile and score one arbitrary configuration point."""
+    session = Session(
+        task.arch, cache=cache, hooks=hooks, pass_manager=pass_manager
+    )
+    compiled = session.compile(canonical, task.options, assume_canonical=True)
+    energy = estimate_energy(compiled) if task.want_energy else None
+    return TaskEval(metrics=compiled.evaluate(), energy=energy)
+
+
+def _grid_eval_task(task: SweepTask, options_overrides: Optional[dict]) -> EvalTask:
+    """Lower a paper-grid cell onto the generic task form."""
+    return EvalTask(
+        key=f"{task.benchmark}/{task.config}+{task.extra_pes}",
+        arch=paper_case_study(task.min_pes + task.extra_pes),
+        options=ScheduleOptions(
+            mapping=task.mapping,
+            scheduling=task.scheduling,
+            **(options_overrides or {}),
+        ),
+    )
+
+
+def evaluate_task_full(
+    canonical: Graph,
+    task: SweepTask,
+    options_overrides: Optional[dict] = None,
+    cache: Optional[CompilationCache] = None,
+    pass_manager=None,
+    hooks=(),
+) -> TaskEval:
+    """Compile and score one grid point (metrics plus energy)."""
+    return evaluate_eval_task(
+        canonical,
+        _grid_eval_task(task, options_overrides),
+        cache,
+        pass_manager,
+        hooks,
+    )
+
+
 def evaluate_task(
     canonical: Graph,
     task: SweepTask,
@@ -134,14 +241,9 @@ def evaluate_task(
     hooks=(),
 ) -> Metrics:
     """Compile and evaluate one config point (Session / pass pipeline)."""
-    arch = paper_case_study(task.min_pes + task.extra_pes)
-    options = ScheduleOptions(
-        mapping=task.mapping,
-        scheduling=task.scheduling,
-        **(options_overrides or {}),
-    )
-    session = Session(arch, cache=cache, hooks=hooks, pass_manager=pass_manager)
-    return session.evaluate(canonical, options, assume_canonical=True)
+    return evaluate_task_full(
+        canonical, task, options_overrides, cache, pass_manager, hooks
+    ).metrics
 
 
 # --- process-pool worker plumbing ------------------------------------
@@ -161,15 +263,30 @@ def _worker_init(payload: dict[str, str], overrides: Optional[dict], use_cache: 
     _WORKER_STATE["caches"] = {} if use_cache else None
 
 
-def _worker_eval(task: SweepTask) -> tuple[SweepTask, Metrics]:
+def _worker_graph(name: str) -> Graph:
     graphs = _WORKER_STATE["graphs"]
-    if task.benchmark not in graphs:
-        graphs[task.benchmark] = serialize.loads(_WORKER_STATE["payload"][task.benchmark])
+    if name not in graphs:
+        graphs[name] = serialize.loads(_WORKER_STATE["payload"][name])
+    return graphs[name]
+
+
+def _worker_cache(name: str) -> Optional[CompilationCache]:
     caches = _WORKER_STATE["caches"]
-    cache = None if caches is None else caches.setdefault(task.benchmark, CompilationCache())
-    return task, evaluate_task(
-        graphs[task.benchmark], task, _WORKER_STATE["overrides"], cache
+    return None if caches is None else caches.setdefault(name, CompilationCache())
+
+
+def _worker_eval(task: SweepTask) -> TaskEval:
+    return evaluate_task_full(
+        _worker_graph(task.benchmark),
+        task,
+        _WORKER_STATE["overrides"],
+        _worker_cache(task.benchmark),
     )
+
+
+def _worker_eval_stream(item: tuple[str, EvalTask]) -> TaskEval:
+    name, task = item
+    return evaluate_eval_task(_worker_graph(name), task, _worker_cache(name))
 
 
 class SweepExecutor:
@@ -218,6 +335,28 @@ class SweepExecutor:
         self._pass_manager = pass_manager
         self._hooks = tuple(hooks)
         self._caches: dict[str, CompilationCache] = {}
+        # Persistent task-stream pool (see iter_task_evals): kept alive
+        # across calls so worker-process caches survive between batches.
+        # The graph reference must be strong and compared by identity —
+        # an id()-based key could alias a recycled address to a stale
+        # pool initialized with a different graph.
+        self._stream_pool: Optional[futures.ProcessPoolExecutor] = None
+        self._stream_pool_name: Optional[str] = None
+        self._stream_pool_graph: Optional[Graph] = None
+
+    def close_pool(self) -> None:
+        """Shut down the persistent task-stream pool (idempotent)."""
+        if self._stream_pool is not None:
+            self._stream_pool.shutdown(wait=False, cancel_futures=True)
+        self._stream_pool = None
+        self._stream_pool_name = None
+        self._stream_pool_graph = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close_pool()
+        except Exception:
+            pass
 
     # -- cache handling ------------------------------------------------
 
@@ -270,12 +409,12 @@ class SweepExecutor:
             for spec in specs
         }
 
-        baselines: dict[str, Metrics] = {}
+        baselines: dict[str, TaskEval] = {}
         pending: list[SweepTask] = []
         for spec in specs:
             for task in grid_tasks(spec, xs):
                 if task.is_baseline:
-                    baselines[spec.name] = evaluate_task(
+                    baselines[spec.name] = evaluate_task_full(
                         canonicals[spec.name],
                         task,
                         options_overrides,
@@ -298,35 +437,20 @@ class SweepExecutor:
         if self.jobs > 1 and parallel_ok and len(pending) > 1:
             pool = self._make_pool(canonicals, options_overrides)
             if pool is not None:
-                # Workers spawn lazily, so fork/spawn failures surface at
-                # submit/result time, not construction — catch those too
-                # and finish the remaining points serially.
-                completed: set[SweepTask] = set()
-                try:
-                    jobs = [pool.submit(_worker_eval, task) for task in pending]
-                    for done in futures.as_completed(jobs):
-                        task, metrics = done.result()
-                        completed.add(task)
-                        yield self._point(task, metrics, baselines)
-                except (OSError, BrokenProcessPool) as exc:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    warnings.warn(
-                        f"process pool failed ({exc}); sweeping serially",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    pending = [t for t in pending if t not in completed]
-                except BaseException:
-                    # consumer abandoned the stream (GeneratorExit) or
-                    # interrupted — don't block on the unfinished grid
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
-                else:
-                    pool.shutdown()
+                leftover = yield from self._pooled(
+                    pool,
+                    _worker_eval,
+                    [(task, task) for task in pending],
+                    lambda task, evaluation: self._point(
+                        task, evaluation, baselines
+                    ),
+                )
+                if leftover is None:
                     return
+                pending = leftover
 
         for task in pending:
-            metrics = evaluate_task(
+            evaluation = evaluate_task_full(
                 canonicals[task.benchmark],
                 task,
                 options_overrides,
@@ -334,7 +458,142 @@ class SweepExecutor:
                 self._pass_manager,
                 self._hooks,
             )
-            yield self._point(task, metrics, baselines)
+            yield self._point(task, evaluation, baselines)
+
+    # -- pooled fan-out (shared by grid and task streams) --------------
+
+    def _pooled(self, pool, worker, submits, emit, keep_alive=False):
+        """Yield ``emit(item, result)`` per completed pool submission.
+
+        ``submits`` is a list of ``(item, worker_argument)`` pairs;
+        results stream back in completion order.  Workers spawn
+        lazily, so fork/spawn failures surface at submit/result time,
+        not construction — on such a failure the pool is shut down, a
+        warning is emitted, and the generator *returns* the items
+        whose results were never produced (the caller finishes them
+        serially).  A clean run returns ``None`` (shutting the pool
+        down unless ``keep_alive``); consumer abandonment
+        (GeneratorExit) or interrupts cancel the queued work and
+        propagate.
+        """
+        completed: set = set()
+        try:
+            jobs = {pool.submit(worker, arg): item for item, arg in submits}
+            for done in futures.as_completed(jobs):
+                item = jobs[done]
+                evaluation = done.result()
+                completed.add(item)
+                yield emit(item, evaluation)
+        except (OSError, BrokenProcessPool) as exc:
+            pool.shutdown(wait=False, cancel_futures=True)
+            if keep_alive:
+                self.close_pool()
+            warnings.warn(
+                f"process pool failed ({exc}); sweeping serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [item for item, _ in submits if item not in completed]
+        except BaseException:
+            # consumer abandoned the stream (GeneratorExit) or
+            # interrupted — don't block on the unfinished work
+            pool.shutdown(wait=False, cancel_futures=True)
+            if keep_alive:
+                self.close_pool()
+            raise
+        if not keep_alive:
+            pool.shutdown()
+        return None
+
+    # -- arbitrary task streams ---------------------------------------
+
+    def _stream_pool_for(
+        self, canonical: Graph, name: str
+    ) -> Optional[futures.ProcessPoolExecutor]:
+        """The persistent stream pool for ``(name, canonical)``.
+
+        Kept alive across :meth:`iter_task_evals` calls so per-process
+        compilation caches survive between strategy batches — without
+        this, every exploration batch would respawn workers and
+        recompile every shared stage cold.  Switching to a different
+        graph (or stream name) replaces the pool.
+        """
+        if (
+            self._stream_pool is not None
+            and self._stream_pool_name == name
+            and self._stream_pool_graph is canonical
+        ):
+            return self._stream_pool
+        self.close_pool()
+        pool = self._make_pool({name: canonical}, None)
+        if pool is not None:
+            self._stream_pool = pool
+            self._stream_pool_name = name
+            self._stream_pool_graph = canonical
+        return pool
+
+    def iter_task_evals(
+        self,
+        canonical: Graph,
+        tasks: Sequence[EvalTask],
+        name: str = "stream",
+    ) -> Iterator[tuple[EvalTask, TaskEval]]:
+        """Evaluate an arbitrary stream of :class:`EvalTask`s.
+
+        The generalized core of the executor: where :meth:`iter_points`
+        walks the paper's fixed grid, this accepts any task stream —
+        in practice the proposals of a :mod:`repro.explore` search
+        strategy.  Caching and process-pool fan-out behave exactly as
+        on the grid path (serial shares this executor's cache; workers
+        hold per-process caches and stay alive across calls, see
+        :meth:`close_pool`; pool failures fall back to serial).
+        Results stream back in completion order when parallel; task
+        ``key``s must be unique within the stream.
+        """
+        tasks = list(tasks)
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError("EvalTask keys must be unique within a stream")
+        parallel_ok = self._pass_manager is None and not self._hooks
+        if self.jobs > 1 and not parallel_ok:
+            warnings.warn(
+                "custom pass manager/hooks cannot cross the process "
+                "boundary; evaluating serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        pending = tasks
+        if self.jobs > 1 and parallel_ok and len(pending) > 1:
+            pool = self._stream_pool_for(canonical, name)
+            if pool is not None:
+                leftover = yield from self._pooled(
+                    pool,
+                    _worker_eval_stream,
+                    [(task, (name, task)) for task in pending],
+                    lambda task, evaluation: (task, evaluation),
+                    keep_alive=True,
+                )
+                if leftover is None:
+                    return
+                pending = leftover
+
+        cache = self.cache_for(name)
+        for task in pending:
+            yield task, evaluate_eval_task(
+                canonical, task, cache, self._pass_manager, self._hooks
+            )
+
+    def run_tasks(
+        self,
+        canonical: Graph,
+        tasks: Sequence[EvalTask],
+        name: str = "stream",
+    ) -> dict[str, TaskEval]:
+        """Evaluate a task stream and return results keyed by task key."""
+        return {
+            task.key: evaluation
+            for task, evaluation in self.iter_task_evals(canonical, tasks, name)
+        }
 
     def _make_pool(
         self, canonicals: dict[str, Graph], options_overrides: Optional[dict]
@@ -358,9 +617,10 @@ class SweepExecutor:
 
     @staticmethod
     def _point(
-        task: SweepTask, metrics: Metrics, baselines: dict[str, Metrics]
+        task: SweepTask, evaluation: TaskEval, baselines: dict[str, TaskEval]
     ) -> ConfigPoint:
-        baseline = baselines[task.benchmark]
+        baseline = baselines[task.benchmark].metrics
+        metrics = evaluation.metrics
         return ConfigPoint(
             benchmark=task.benchmark,
             config=task.config,
@@ -368,6 +628,7 @@ class SweepExecutor:
             metrics=metrics,
             speedup=metrics.speedup_over(baseline),
             utilization=metrics.utilization,
+            energy_uj=evaluation.energy_uj,
         )
 
     # -- assembled results --------------------------------------------
@@ -394,6 +655,7 @@ class SweepExecutor:
                         s.min_pes for s in specs if s.name == point.benchmark
                     ),
                     baseline=point.metrics,
+                    baseline_energy_uj=point.energy_uj,
                 )
             else:
                 results[point.benchmark].points.append(point)

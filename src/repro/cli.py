@@ -12,6 +12,14 @@ Subcommands
 ``sweep``
     Run the paper's configuration grid for one or more models and print
     the Fig. 7 panels (or export CSV/JSON).
+``explore``
+    Multi-objective design-space search (``repro.explore``): pick a
+    strategy and a budget, journal every evaluated point into a
+    resumable run store, and print the Pareto frontier.
+
+The CLI installs under two names — ``clsa-cim`` (historical) and
+``repro`` — with identical behaviour; ``--version`` prints the
+installed package version.
 
 Examples
 --------
@@ -23,6 +31,9 @@ Examples
     clsa-cim schedule --model vgg16 --order-mode static --duplication-solver greedy
     clsa-cim sweep --models tinyyolov3 vgg16 --xs 4 16 --format csv
     clsa-cim sweep --models resnet50 resnet101 --jobs 4 --rows-per-set 4
+    repro explore --model tinyyolov3 --strategy random --budget 40 --resume
+    repro explore --model vgg16 --strategy successive-halving \
+        --objectives latency utilization --out vgg16.jsonl --format json
 
 Both ``schedule`` and ``sweep`` run entirely through the public
 :class:`repro.session.Session` API (pass-pipeline compilation with a
@@ -65,10 +76,29 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _package_version() -> str:
+    """The installed distribution version (falling back to the module's).
+
+    Source installs run off ``PYTHONPATH`` without package metadata;
+    the module constant keeps ``--version`` working there.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("clsa-cim-repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clsa-cim",
         description="CLSA-CIM cross-layer scheduling for tiled CIM architectures",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -158,6 +188,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rows-per-set", type=int, default=1,
         help="Stage I granularity applied to every config point "
              "(default 1 = finest)",
+    )
+
+    from .explore import objective_names, strategy_names
+
+    explore = sub.add_parser(
+        "explore",
+        help="multi-objective design-space search (Pareto frontier)",
+    )
+    explore.add_argument("--model", required=True, choices=sorted(MODELS))
+    explore.add_argument(
+        "--strategy", default="random", choices=strategy_names(),
+        help="search strategy (default random; plugins registered via "
+             "repro.explore.register_strategy are accepted)",
+    )
+    explore.add_argument(
+        "--budget", type=int, default=40, metavar="N",
+        help="full-fidelity points to process, reused or fresh "
+             "(default 40)",
+    )
+    explore.add_argument(
+        "--objectives", nargs="+", default=["latency", "energy"],
+        choices=objective_names(), metavar="OBJ",
+        help="objectives the frontier ranks on "
+             "(default: latency energy; also: utilization)",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=0,
+        help="strategy RNG seed (default 0; same seed + same store = "
+             "pure replay)",
+    )
+    explore.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="run-store JSONL path journalling every evaluated point "
+             "(default explore-<model>-<strategy>.jsonl)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing run store: journalled points are "
+             "reused without recompiling (an existing store without "
+             "--resume is an error)",
+    )
+    explore.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="evaluate points on N worker processes "
+             "(0 = one per CPU; default 1 = serial)",
+    )
+    explore.add_argument(
+        "--max-total-pes", type=int, default=None, metavar="P",
+        help="chip budget: points needing more than P PEs are "
+             "journalled as infeasible (default: unbounded)",
+    )
+    explore.add_argument(
+        "--max-extra-pes", type=int, default=64, metavar="X",
+        help="upper end of the log-scale extra-PE dimension (default 64)",
+    )
+    explore.add_argument(
+        "--format", default="text", choices=("text", "csv", "json"),
+        help="frontier output format (default text)",
     )
     return parser
 
@@ -280,6 +368,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .analysis.frontier import frontier_report, frontier_to_csv, frontier_to_json
+    from .explore import ExploreError, default_space
+    from .explore.store import StoreError
+
+    out = args.out
+    if out is None:
+        out = f"explore-{args.model}-{args.strategy}.jsonl"
+    session = Session(paper_case_study(1))
+    try:
+        space = default_space(max_extra_pes=args.max_extra_pes)
+        result = session.explore(
+            args.model,
+            space=space,
+            objectives=tuple(args.objectives),
+            strategy=args.strategy,
+            budget=args.budget,
+            store=out,
+            resume=args.resume,
+            seed=args.seed,
+            jobs=None if args.jobs == 0 else args.jobs,
+            max_total_pes=args.max_total_pes,
+        )
+    except (ExploreError, StoreError, ValueError) as exc:
+        print(f"explore: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "csv":
+        print(frontier_to_csv(result))
+    elif args.format == "json":
+        print(frontier_to_json(result))
+    else:
+        print(result.summary())
+        print()
+        print(frontier_report(result))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -293,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_schedule(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,108 @@
+"""Design-space exploration (DSE) over the CLSA-CIM configuration space.
+
+The paper evaluates a fixed grid — four configurations crossed with
+four extra-PE budgets (Sec. V).  This package turns that grid into a
+searchable space: a declarative :class:`SearchSpace` over the
+:class:`~repro.core.pipeline.ScheduleOptions` knobs, duplication caps,
+and architecture parameters (PE budget, crossbar dimension, PEs per
+tile); pluggable search :class:`Strategy` implementations behind a
+:func:`register_strategy` registry (exhaustive grid, seeded random,
+successive halving with a static-makespan proxy, and an evolutionary
+mutation/crossover search); a multi-objective evaluator scoring every
+point on latency, energy and PE utilization; and an incremental
+:class:`ParetoFrontier` over any subset of those objectives.
+
+Long explorations are crash-safe and resumable: every evaluated point
+is journalled to a :class:`RunStore` (append-only JSONL, keyed by a
+fingerprint derived from the
+:func:`~repro.core.cache.graph_fingerprint` of the model plus the
+canonicalized point), so re-running the same exploration — after a
+crash, or with a larger budget — reuses every previously evaluated
+point without a single duplicate compile.
+
+Entry points::
+
+    from repro import Session, paper_case_study
+
+    session = Session(paper_case_study(1))
+    result = session.explore(
+        "tinyyolov3", strategy="random", budget=40,
+        objectives=("latency", "energy"), store="tinyyolov3.jsonl",
+    )
+    for entry in result.frontier:
+        print(entry.point, entry.values)
+
+or, from the command line::
+
+    repro explore --model tinyyolov3 --strategy random --budget 40 \
+        --out tinyyolov3.jsonl --resume
+"""
+
+from .engine import ExplorationCounters, ExplorationResult, Explorer, ExploreError
+from .evaluator import EvaluationResult, PointEvaluator, point_fingerprint
+from .objectives import (
+    OBJECTIVES,
+    ObjectiveSpec,
+    canonical_vector,
+    objective_names,
+    register_objective,
+    resolve_objectives,
+)
+from .pareto import FrontierEntry, ParetoFrontier, dominates, pareto_indices
+from .space import (
+    Categorical,
+    Dimension,
+    Integer,
+    LogInteger,
+    SearchSpace,
+    default_space,
+)
+from .store import RunRecord, RunStore
+from .strategies import (
+    EvolutionaryStrategy,
+    GridStrategy,
+    Proposal,
+    RandomStrategy,
+    Strategy,
+    SuccessiveHalvingStrategy,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "Categorical",
+    "Dimension",
+    "EvaluationResult",
+    "EvolutionaryStrategy",
+    "ExplorationCounters",
+    "ExplorationResult",
+    "ExploreError",
+    "Explorer",
+    "FrontierEntry",
+    "GridStrategy",
+    "Integer",
+    "LogInteger",
+    "OBJECTIVES",
+    "ObjectiveSpec",
+    "ParetoFrontier",
+    "PointEvaluator",
+    "Proposal",
+    "RandomStrategy",
+    "RunRecord",
+    "RunStore",
+    "SearchSpace",
+    "Strategy",
+    "SuccessiveHalvingStrategy",
+    "canonical_vector",
+    "default_space",
+    "dominates",
+    "make_strategy",
+    "objective_names",
+    "pareto_indices",
+    "point_fingerprint",
+    "register_objective",
+    "register_strategy",
+    "resolve_objectives",
+    "strategy_names",
+]

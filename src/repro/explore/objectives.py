@@ -1,0 +1,118 @@
+"""Exploration objectives: what a design point is scored on.
+
+Every full-fidelity evaluation produces a value for *all* registered
+objectives (they are cheap once the point is compiled), and the
+journal stores them all — so a run store written while optimizing
+``(latency, energy)`` can later be re-read to build a frontier over
+``(latency, utilization)`` without recompiling anything.
+
+The registry mirrors ``register_scheduler``/``register_mapping``:
+third-party objectives plug in by name through
+:func:`register_objective` and are then addressable from
+``Session.explore(objectives=...)`` and the CLI ``--objectives`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "OBJECTIVES",
+    "ObjectiveSpec",
+    "canonical_vector",
+    "objective_names",
+    "register_objective",
+    "resolve_objectives",
+]
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One scoring axis: a name, an optimization sense, and units."""
+
+    name: str
+    sense: str  # 'min' | 'max'
+    units: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("min", "max"):
+            raise ValueError(f"sense must be 'min' or 'max', got {self.sense!r}")
+
+    def canonical(self, value: float) -> float:
+        """The value in minimization form (max objectives negate)."""
+        return -value if self.sense == "max" else value
+
+
+OBJECTIVES: dict[str, ObjectiveSpec] = {}
+
+#: Objectives that cannot be unregistered (the evaluator fills them).
+_BUILTIN_OBJECTIVES = ("latency", "energy", "utilization")
+
+
+def register_objective(spec: ObjectiveSpec, replace: bool = False) -> None:
+    """Register an objective by name (mirrors ``register_scheduler``)."""
+    if not replace and spec.name in OBJECTIVES:
+        raise ValueError(f"objective {spec.name!r} is already registered")
+    OBJECTIVES[spec.name] = spec
+
+
+def objective_names() -> tuple[str, ...]:
+    """Registered objective names, builtins first."""
+    return tuple(OBJECTIVES)
+
+
+def resolve_objectives(names: Iterable[str]) -> tuple[ObjectiveSpec, ...]:
+    """Look up objective specs by name, preserving order."""
+    resolved = []
+    seen = set()
+    for name in names:
+        if name not in OBJECTIVES:
+            raise KeyError(
+                f"unknown objective {name!r}; registered: {objective_names()}"
+            )
+        if name in seen:
+            raise ValueError(f"objective {name!r} listed twice")
+        seen.add(name)
+        resolved.append(OBJECTIVES[name])
+    if not resolved:
+        raise ValueError("at least one objective is required")
+    return tuple(resolved)
+
+
+def canonical_vector(
+    values: Mapping[str, float], objectives: Sequence[ObjectiveSpec]
+) -> tuple[float, ...]:
+    """Project a value dict onto the objectives, in minimization form.
+
+    Raises ``KeyError`` when a requested objective was not scored
+    (e.g. asking for energy from a proxy evaluation).
+    """
+    return tuple(spec.canonical(float(values[spec.name])) for spec in objectives)
+
+
+register_objective(
+    ObjectiveSpec(
+        "latency",
+        "min",
+        units="cycles",
+        description="inference latency (schedule makespan)",
+    )
+)
+register_objective(
+    ObjectiveSpec(
+        "energy",
+        "min",
+        units="uJ",
+        description="first-order inference energy (repro.sim.energy)",
+    )
+)
+register_objective(
+    ObjectiveSpec(
+        "utilization",
+        "max",
+        units="",
+        description="mean PE utilization (Eq. 2)",
+    )
+)

@@ -1,0 +1,136 @@
+"""Incremental Pareto frontiers over multi-objective scores.
+
+The frontier is maintained online: every full evaluation is offered to
+:meth:`ParetoFrontier.add`, which either rejects it (some archived
+point dominates it) or admits it and evicts every archived point it
+dominates.  The invariant — the archive equals the non-dominated
+subset of everything ever offered — is property-tested against the
+brute-force :func:`pareto_indices` scan.
+
+Dominance is the standard weak-dominance rule in minimization form:
+``a`` dominates ``b`` iff ``a <= b`` component-wise with at least one
+strict inequality.  Duplicate vectors do not dominate each other, so
+equal-scoring points coexist on the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+from .objectives import ObjectiveSpec, canonical_vector
+
+__all__ = ["FrontierEntry", "ParetoFrontier", "dominates", "pareto_indices"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether ``a`` dominates ``b`` (both in minimization form)."""
+    if len(a) != len(b):
+        raise ValueError(f"vector lengths differ: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Brute-force dominance scan: indices of the non-dominated set.
+
+    O(n^2) reference implementation used by tests to validate the
+    incremental frontier.
+    """
+    return [
+        i
+        for i, v in enumerate(vectors)
+        if not any(dominates(w, v) for j, w in enumerate(vectors) if j != i)
+    ]
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One non-dominated point: identity, raw scores, and payload."""
+
+    key: str
+    values: dict[str, float]
+    vector: tuple[float, ...]
+    point: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        scores = ", ".join(f"{k}={v:g}" for k, v in self.values.items())
+        return f"FrontierEntry({self.key[:12]}, {scores})"
+
+
+class ParetoFrontier:
+    """The incremental non-dominated archive of an exploration.
+
+    Parameters
+    ----------
+    objectives:
+        The scoring axes; their order fixes the canonical vector
+        layout.  ``max`` objectives are negated internally so the
+        archive always minimizes.
+    """
+
+    def __init__(self, objectives: Sequence[ObjectiveSpec]) -> None:
+        if not objectives:
+            raise ValueError("a frontier needs at least one objective")
+        self.objectives = tuple(objectives)
+        self._entries: list[FrontierEntry] = []
+        #: Offers rejected because an archived point dominated them.
+        self.dominated_offers = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FrontierEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[FrontierEntry, ...]:
+        return tuple(self._entries)
+
+    def add(
+        self,
+        key: str,
+        values: Mapping[str, float],
+        point: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
+        """Offer a scored point; returns whether it joined the frontier.
+
+        A re-offered key is replaced, not duplicated (resuming a run
+        replays the journal into a fresh frontier).
+        """
+        vector = canonical_vector(values, self.objectives)
+        existing = [e for e in self._entries if e.key != key]
+        if any(dominates(e.vector, vector) for e in existing):
+            self.dominated_offers += 1
+            self._entries = existing
+            return False
+        entry = FrontierEntry(
+            key=key,
+            values={spec.name: float(values[spec.name]) for spec in self.objectives},
+            vector=vector,
+            point=dict(point or {}),
+        )
+        self._entries = [
+            e for e in existing if not dominates(vector, e.vector)
+        ]
+        self._entries.append(entry)
+        return True
+
+    def best(self, objective: str) -> FrontierEntry:
+        """The frontier entry optimal on one objective."""
+        for index, spec in enumerate(self.objectives):
+            if spec.name == objective:
+                return min(self._entries, key=lambda e: e.vector[index])
+        raise KeyError(
+            f"frontier has no objective {objective!r}; "
+            f"have {[s.name for s in self.objectives]}"
+        )
+
+    def summary(self) -> str:
+        """One line: size and per-objective best values."""
+        if not self._entries:
+            return "empty frontier"
+        names = [spec.name for spec in self.objectives]
+        bests = ", ".join(
+            f"best {name}={self.best(name).values[name]:g}" for name in names
+        )
+        return f"{len(self._entries)} non-dominated points ({bests})"

@@ -1,0 +1,368 @@
+"""Declarative search spaces over the CLSA-CIM configuration knobs.
+
+A :class:`SearchSpace` is an ordered set of named :class:`Dimension`
+objects plus two kinds of point-level rules:
+
+* **constraints** — predicates a point must satisfy to be *searchable*
+  at all (violating points are never proposed);
+* **canonicalizers** — rewrites that collapse don't-care dimensions
+  (e.g. the duplication axis of an undulicated mapping) so that two
+  points which compile to the same configuration share one fingerprint
+  in the run store and are never evaluated twice.
+
+Points are plain ``dict[str, value]`` with JSON-safe values, so they
+journal directly into the :class:`~repro.explore.store.RunStore`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "Categorical",
+    "Dimension",
+    "Integer",
+    "LogInteger",
+    "SearchSpace",
+    "default_space",
+]
+
+Point = dict[str, Any]
+
+
+class Dimension:
+    """One named axis of a search space.
+
+    Subclasses define ``choices`` (the finite grid the dimension
+    enumerates) and may override :meth:`sample` for non-uniform draws.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("dimension name must be non-empty")
+        self.name = name
+
+    @property
+    def choices(self) -> tuple[Any, ...]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> Any:
+        """A uniform draw from the dimension's grid."""
+        return rng.choice(self.choices)
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` is on this dimension's grid."""
+        return value in self.choices
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {list(self.choices)})"
+
+
+class Categorical(Dimension):
+    """An unordered choice between explicit values."""
+
+    def __init__(self, name: str, values: Sequence[Any]) -> None:
+        super().__init__(name)
+        if not values:
+            raise ValueError(f"dimension {name!r} needs at least one value")
+        if len(set(map(repr, values))) != len(values):
+            raise ValueError(f"dimension {name!r} has duplicate values")
+        self._values = tuple(values)
+
+    @property
+    def choices(self) -> tuple[Any, ...]:
+        return self._values
+
+
+class Integer(Dimension):
+    """An inclusive integer range with a linear step."""
+
+    def __init__(self, name: str, lo: int, hi: int, step: int = 1) -> None:
+        super().__init__(name)
+        if step < 1:
+            raise ValueError(f"dimension {name!r}: step must be >= 1")
+        if hi < lo:
+            raise ValueError(f"dimension {name!r}: hi must be >= lo")
+        self.lo, self.hi, self.step = lo, hi, step
+        self._values = tuple(range(lo, hi + 1, step))
+
+    @property
+    def choices(self) -> tuple[int, ...]:
+        return self._values
+
+
+class LogInteger(Dimension):
+    """Integers on a log-scale grid: ``lo, lo*base, lo*base^2, ... <= hi``.
+
+    The natural shape for resource-style knobs (extra PEs, set rows,
+    buffer bytes) where doubling, not incrementing, is the meaningful
+    move.
+    """
+
+    def __init__(self, name: str, lo: int, hi: int, base: int = 2) -> None:
+        super().__init__(name)
+        if lo < 1:
+            raise ValueError(f"dimension {name!r}: lo must be >= 1")
+        if hi < lo:
+            raise ValueError(f"dimension {name!r}: hi must be >= lo")
+        if base < 2:
+            raise ValueError(f"dimension {name!r}: base must be >= 2")
+        self.lo, self.hi, self.base = lo, hi, base
+        values = []
+        value = lo
+        while value <= hi:
+            values.append(value)
+            value *= base
+        self._values = tuple(values)
+
+    @property
+    def choices(self) -> tuple[int, ...]:
+        return self._values
+
+
+@dataclass
+class SearchSpace:
+    """An ordered collection of dimensions plus validity rules.
+
+    Parameters
+    ----------
+    dimensions:
+        The axes of the space; order fixes grid-enumeration order.
+    constraints:
+        ``(name, predicate)`` pairs; a point is valid iff every
+        predicate returns true.  Named so infeasibility is reportable.
+    canonicalizers:
+        Functions ``point -> point`` collapsing don't-care dimensions.
+        Applied in order by :meth:`canonicalize`; must be idempotent.
+    max_total_pes:
+        Optional chip budget (total PEs) enforced by the evaluator —
+        the PE *minimum* depends on the model under exploration, so
+        the space records the cap and the evaluator decides
+        feasibility per point.
+    """
+
+    dimensions: Sequence[Dimension]
+    constraints: Sequence[tuple[str, Callable[[Mapping[str, Any]], bool]]] = field(
+        default_factory=tuple
+    )
+    canonicalizers: Sequence[Callable[[Point], Point]] = field(default_factory=tuple)
+    max_total_pes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        names = [dim.name for dim in self.dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        self.dimensions = tuple(self.dimensions)
+        self.constraints = tuple(self.constraints)
+        self.canonicalizers = tuple(self.canonicalizers)
+        self._by_name = {dim.name: dim for dim in self.dimensions}
+
+    # -- introspection -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self.dimensions)
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(dim.name for dim in self.dimensions)
+
+    def dimension(self, name: str) -> Dimension:
+        if name not in self._by_name:
+            raise KeyError(f"no dimension named {name!r}; have {self.names}")
+        return self._by_name[name]
+
+    def size(self) -> int:
+        """Number of raw grid points (before canonicalization)."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.choices)
+        return total
+
+    def describe(self) -> dict[str, list[Any]]:
+        """JSON-safe summary (journalled into run-store headers)."""
+        return {dim.name: list(dim.choices) for dim in self.dimensions}
+
+    # -- validity ------------------------------------------------------
+
+    def contains(self, point: Mapping[str, Any]) -> bool:
+        """Whether every dimension is present and on-grid."""
+        if set(point) != set(self._by_name):
+            return False
+        return all(self._by_name[k].contains(v) for k, v in point.items())
+
+    def is_valid(self, point: Mapping[str, Any]) -> bool:
+        """On-grid and satisfying every constraint."""
+        return self.contains(point) and all(
+            predicate(point) for _, predicate in self.constraints
+        )
+
+    def violated_constraints(self, point: Mapping[str, Any]) -> list[str]:
+        """Names of the constraints ``point`` violates."""
+        return [
+            name for name, predicate in self.constraints if not predicate(point)
+        ]
+
+    def canonicalize(self, point: Mapping[str, Any]) -> Point:
+        """Collapse don't-care dimensions to their canonical values.
+
+        Two points with identical compiled behaviour canonicalize to
+        the same dict, so fingerprint-keyed dedup never evaluates the
+        same configuration twice under different names.
+        """
+        result: Point = dict(point)
+        for rewrite in self.canonicalizers:
+            result = rewrite(result)
+        return result
+
+    # -- generation ----------------------------------------------------
+
+    def sample(self, rng: random.Random, max_attempts: int = 1000) -> Point:
+        """A uniform random valid point (rejection-sampled)."""
+        for _ in range(max_attempts):
+            point = {dim.name: dim.sample(rng) for dim in self.dimensions}
+            if self.is_valid(point):
+                return point
+        raise RuntimeError(
+            f"no valid point found in {max_attempts} draws; "
+            "constraints may be unsatisfiable"
+        )
+
+    def grid(self) -> Iterator[Point]:
+        """Every valid grid point, in odometer order over dimensions."""
+
+        def rec(index: int, partial: Point) -> Iterator[Point]:
+            if index == len(self.dimensions):
+                if all(predicate(partial) for _, predicate in self.constraints):
+                    yield dict(partial)
+                return
+            dim = self.dimensions[index]
+            for value in dim.choices:
+                partial[dim.name] = value
+                yield from rec(index + 1, partial)
+            del partial[dim.name]
+
+        yield from rec(0, {})
+
+    # -- evolutionary operators ---------------------------------------
+
+    def mutate(
+        self, point: Mapping[str, Any], rng: random.Random, rate: float = 0.25
+    ) -> Point:
+        """Resample each dimension independently with probability ``rate``.
+
+        At least one dimension is always resampled, so a mutation
+        never returns its input unchanged by construction (it may
+        still collide after canonicalization).  Invalid mutants are
+        re-drawn a bounded number of times before falling back to a
+        fresh sample.
+        """
+        multi = [i for i, d in enumerate(self.dimensions) if len(d.choices) > 1]
+        for _ in range(100):
+            mutant = dict(point)
+            forced = rng.choice(multi) if multi else None
+            for index, dim in enumerate(self.dimensions):
+                if index == forced:
+                    others = [c for c in dim.choices if c != point[dim.name]]
+                    mutant[dim.name] = rng.choice(others)
+                elif rng.random() < rate:
+                    mutant[dim.name] = dim.sample(rng)
+            if self.is_valid(mutant):
+                return mutant
+        return self.sample(rng)
+
+    def crossover(
+        self,
+        a: Mapping[str, Any],
+        b: Mapping[str, Any],
+        rng: random.Random,
+    ) -> Point:
+        """Uniform crossover: each dimension from parent ``a`` or ``b``.
+
+        Invalid children are re-drawn a bounded number of times, then
+        fall back to mutating parent ``a``.
+        """
+        for _ in range(100):
+            child = {
+                dim.name: (a if rng.random() < 0.5 else b)[dim.name]
+                for dim in self.dimensions
+            }
+            if self.is_valid(child):
+                return child
+        return self.mutate(a, rng)
+
+
+# ---------------------------------------------------------------------------
+# the default CLSA-CIM space
+# ---------------------------------------------------------------------------
+
+
+def _canonical_mapping_none(point: Point) -> Point:
+    # Without duplication the solver knobs are dead: pin them so
+    # none/height/4 and none/width/0 share one fingerprint.
+    if point.get("mapping") == "none":
+        if "d_max_cap" in point:
+            point["d_max_cap"] = 0
+        if "duplication_axis" in point:
+            point["duplication_axis"] = "width"
+    return point
+
+
+def _canonical_layer_by_layer(point: Point) -> Point:
+    # The layer-by-layer baseline ignores Stage I granularity and the
+    # Stage III/IV order mode (its makespan is the critical-path sum of
+    # whole-layer latencies regardless), and without set-level
+    # dependencies the tile layout never moves data, so PEs-per-tile
+    # cannot affect any objective either.
+    if point.get("scheduling") == "layer-by-layer":
+        if "rows_per_set" in point:
+            point["rows_per_set"] = 1
+        if "order_mode" in point:
+            point["order_mode"] = "dynamic"
+        if "pes_per_tile" in point:
+            point["pes_per_tile"] = 1
+    return point
+
+
+def default_space(
+    *,
+    max_extra_pes: int = 64,
+    max_rows_per_set: int = 8,
+    include_arch: bool = True,
+    crossbar_dims: Sequence[int] = (256,),
+    max_total_pes: Optional[int] = None,
+) -> SearchSpace:
+    """The standard exploration space over the paper's knobs.
+
+    Dimensions cover the :class:`~repro.core.pipeline.ScheduleOptions`
+    surface (mapping, scheduling, Stage I granularity, order mode,
+    duplication axis and cap) plus — with ``include_arch`` —
+    architecture parameters: the extra-PE budget (log-scale, the
+    paper's ``+x``), PEs per tile, and the crossbar dimension.
+
+    ``max_total_pes`` installs a chip-budget constraint checked by the
+    evaluator (the PE *minimum* depends on the model, so the space
+    itself cannot decide feasibility; it only records the cap).
+    """
+    dimensions: list[Dimension] = [
+        Categorical("mapping", ["none", "wdup"]),
+        Categorical("scheduling", ["layer-by-layer", "clsa-cim"]),
+        LogInteger("rows_per_set", 1, max_rows_per_set),
+        Categorical("order_mode", ["dynamic", "static"]),
+        Categorical("duplication_axis", ["width", "height"]),
+        Categorical("d_max_cap", [0, 2, 4]),  # 0 = uncapped
+    ]
+    if include_arch:
+        dimensions.append(LogInteger("extra_pes", 4, max_extra_pes))
+        dimensions.append(Categorical("pes_per_tile", [1, 2, 4]))
+        if tuple(crossbar_dims) != (256,):
+            dimensions.append(Categorical("crossbar_dim", list(crossbar_dims)))
+    return SearchSpace(
+        dimensions,
+        canonicalizers=(_canonical_mapping_none, _canonical_layer_by_layer),
+        max_total_pes=max_total_pes,
+    )

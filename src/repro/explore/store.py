@@ -1,0 +1,235 @@
+"""Crash-safe, resumable journal of exploration evaluations.
+
+A :class:`RunStore` is an append-only JSONL file: one header line
+binding the store to a model (its
+:func:`~repro.core.cache.graph_fingerprint`), then one line per
+evaluated point keyed by the point fingerprint.  Appends are flushed
+per record, so a crashed exploration loses at most the record being
+written; :meth:`RunStore.open` tolerates a truncated final line and
+resumes cleanly after it.
+
+Dedup is fingerprint-keyed: before compiling a point, the engine asks
+:meth:`RunStore.get` — a hit short-circuits the whole compile/simulate
+pipeline and is counted in :attr:`RunStore.reuse_hits`, which is how
+tests assert that a resumed exploration performs *zero* duplicate
+compiles.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional
+
+__all__ = ["RunRecord", "RunStore", "StoreError"]
+
+_FORMAT_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """Raised on malformed stores or model/store mismatches."""
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One journalled evaluation."""
+
+    fingerprint: str
+    fidelity: str  # 'full' | 'proxy'
+    point: dict[str, Any]
+    feasible: bool
+    objectives: dict[str, float] = field(default_factory=dict)
+    info: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "record",
+                "fingerprint": self.fingerprint,
+                "fidelity": self.fidelity,
+                "point": self.point,
+                "feasible": self.feasible,
+                "objectives": self.objectives,
+                "info": self.info,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "RunRecord":
+        try:
+            return RunRecord(
+                fingerprint=payload["fingerprint"],
+                fidelity=payload["fidelity"],
+                point=dict(payload["point"]),
+                feasible=bool(payload["feasible"]),
+                objectives={k: float(v) for k, v in payload["objectives"].items()},
+                info={k: float(v) for k, v in payload.get("info", {}).items()},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed run-store record: {exc}") from exc
+
+
+class RunStore:
+    """Fingerprint-indexed JSONL journal of an exploration.
+
+    Use :meth:`RunStore.open` to create or resume an on-disk store, or
+    ``RunStore(path=None, graph_fingerprint=...)`` for an in-memory
+    store (no journal; dedup only lives for the process).
+    """
+
+    def __init__(
+        self, path: Optional[str], graph_fingerprint: str
+    ) -> None:
+        self.path = path
+        self.graph_fingerprint = graph_fingerprint
+        self._records: dict[str, RunRecord] = {}
+        self._file: Optional[io.TextIOWrapper] = None
+        #: get() hits — evaluations short-circuited by the journal.
+        self.reuse_hits = 0
+        #: Records loaded from disk at open time.
+        self.loaded = 0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        graph_fingerprint: str,
+        resume: bool = True,
+    ) -> "RunStore":
+        """Open (and, with ``resume``, replay) an on-disk store.
+
+        A non-empty existing store requires ``resume=True`` — refusing
+        to silently clobber a journal is what makes ``--resume`` an
+        explicit contract at the CLI.  Resuming a store written for a
+        different model raises :class:`StoreError`.
+        """
+        store = cls(path, graph_fingerprint)
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if exists and not resume:
+            raise StoreError(
+                f"run store {path!r} already exists; pass resume/--resume "
+                "to continue it (or choose a different --out)"
+            )
+        if exists:
+            store._load()
+        else:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(store._header_line() + "\n")
+        return store
+
+    def _header_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "header",
+                "format": _FORMAT_VERSION,
+                "graph_fingerprint": self.graph_fingerprint,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        # A crash mid-append can leave a torn final line (no trailing
+        # newline).  Truncate it away *on disk* before parsing: merely
+        # skipping it would leave the fragment in place for the next
+        # append to concatenate onto, corrupting that record.
+        if data and not data.endswith(b"\n"):
+            tail_start = data.rfind(b"\n") + 1
+            try:
+                json.loads(data[tail_start:].decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(tail_start)
+                data = data[:tail_start]
+            else:
+                # Complete JSON that only lost its newline: keep the
+                # record, restore the line terminator.
+                with open(self.path, "ab") as handle:
+                    handle.write(b"\n")
+                data += b"\n"
+        lines = data.decode("utf-8").splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"unreadable run-store header in {self.path!r}") from exc
+        if header.get("kind") != "header":
+            raise StoreError(f"{self.path!r} is not a run store (no header line)")
+        if header.get("format") != _FORMAT_VERSION:
+            raise StoreError(
+                f"{self.path!r} uses run-store format {header.get('format')}, "
+                f"this build reads format {_FORMAT_VERSION}"
+            )
+        if header.get("graph_fingerprint") != self.graph_fingerprint:
+            raise StoreError(
+                f"{self.path!r} was written for a different model "
+                f"(graph fingerprint mismatch); refusing to resume"
+            )
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                # Torn *final* lines were truncated above, so any parse
+                # failure here is real corruption.
+                raise StoreError(
+                    f"{self.path!r}:{number}: corrupt journal line"
+                ) from exc
+            if payload.get("kind") != "record":
+                continue
+            record = RunRecord.from_dict(payload)
+            self._records[record.fingerprint] = record
+        self.loaded = len(self._records)
+
+    # -- journal API ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records.values())
+
+    def get(self, fingerprint: str) -> Optional[RunRecord]:
+        """The journalled record under ``fingerprint`` (counts hits)."""
+        record = self._records.get(fingerprint)
+        if record is not None:
+            self.reuse_hits += 1
+        return record
+
+    def append(self, record: RunRecord) -> None:
+        """Journal one evaluation (flushed immediately)."""
+        self._records[record.fingerprint] = record
+        if self.path is not None:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(record.to_json() + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,331 @@
+"""Search strategies: how the next design points are chosen.
+
+Strategies follow an *ask/tell* protocol driven by the
+:class:`~repro.explore.engine.Explorer`:
+
+* :meth:`Strategy.propose` returns a batch of :class:`Proposal`s — at
+  most ``limit`` of them at ``full`` fidelity (``proxy`` proposals are
+  free: they don't consume the exploration budget);
+* the engine evaluates (or reuses) every proposal and calls
+  :meth:`Strategy.observe` with the results, in proposal order.
+
+An empty batch ends the exploration.  All randomness flows through a
+seeded ``random.Random``, so a re-run with the same seed proposes the
+same points — which is what lets a resumed exploration replay entirely
+from the run store.
+
+The :func:`register_strategy` registry mirrors
+``repro.core.passes.register_scheduler``: third-party strategies plug
+in by name and become addressable from ``Session.explore`` and the CLI
+``--strategy`` flag without touching this module.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+from .evaluator import FULL, PROXY, EvaluationResult
+from .objectives import canonical_vector, resolve_objectives
+from .pareto import dominates
+from .space import Point, SearchSpace
+
+__all__ = [
+    "EvolutionaryStrategy",
+    "GridStrategy",
+    "Proposal",
+    "RandomStrategy",
+    "Strategy",
+    "SuccessiveHalvingStrategy",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
+    "unregister_strategy",
+]
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One point the strategy wants evaluated, at a given fidelity."""
+
+    point: dict[str, Any]
+    fidelity: str = FULL
+
+
+class Strategy:
+    """Base class: seeded RNG, canonical-point dedup, ask/tell hooks."""
+
+    name = "strategy"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        budget: Optional[int] = None,
+        objectives: Sequence[str] = ("latency", "energy"),
+    ) -> None:
+        self.space = space
+        self.rng = random.Random(seed)
+        self.budget = budget
+        self.objectives = resolve_objectives(objectives)
+        self._proposed: set[str] = set()
+
+    # -- dedup ---------------------------------------------------------
+
+    @staticmethod
+    def point_key(point: Mapping[str, Any]) -> str:
+        return json.dumps(dict(point), sort_keys=True, separators=(",", ":"))
+
+    def claim(self, point: Mapping[str, Any]) -> Optional[Point]:
+        """Canonicalize and reserve a point; None if already proposed."""
+        canonical = self.space.canonicalize(point)
+        key = self.point_key(canonical)
+        if key in self._proposed:
+            return None
+        self._proposed.add(key)
+        return canonical
+
+    # -- ask/tell ------------------------------------------------------
+
+    def propose(self, limit: int) -> list[Proposal]:  # pragma: no cover
+        raise NotImplementedError
+
+    def observe(self, results: Sequence[EvaluationResult]) -> None:
+        """Default: stateless strategies ignore results."""
+
+
+class GridStrategy(Strategy):
+    """Exhaustive enumeration of the space's grid, in odometer order.
+
+    Canonically-duplicate cells (e.g. ``none``-mapping points that
+    differ only in the duplication axis) are visited once.
+    """
+
+    name = "grid"
+
+    def __init__(self, space: SearchSpace, **kwargs: Any) -> None:
+        super().__init__(space, **kwargs)
+        self._grid: Iterator[Point] = space.grid()
+
+    def propose(self, limit: int) -> list[Proposal]:
+        batch: list[Proposal] = []
+        while len(batch) < limit:
+            raw = next(self._grid, None)
+            if raw is None:
+                break
+            point = self.claim(raw)
+            if point is not None:
+                batch.append(Proposal(point))
+        return batch
+
+
+class RandomStrategy(Strategy):
+    """Seeded uniform random search (without replacement)."""
+
+    name = "random"
+
+    #: Sampling attempts per requested point before concluding the
+    #: space is (effectively) exhausted.
+    oversample = 200
+
+    def propose(self, limit: int) -> list[Proposal]:
+        batch: list[Proposal] = []
+        attempts = 0
+        max_attempts = self.oversample * max(limit, 1)
+        while len(batch) < limit and attempts < max_attempts:
+            attempts += 1
+            point = self.claim(self.space.sample(self.rng))
+            if point is not None:
+                batch.append(Proposal(point))
+        return batch
+
+
+class SuccessiveHalvingStrategy(Strategy):
+    """Proxy-screened search: sample wide, promote the fastest fraction.
+
+    Each round samples ``eta`` times more candidates than the remaining
+    full budget, scores them all with the cheap static-engine makespan
+    proxy, and promotes the best ``1/eta`` (by proxy latency) to full
+    evaluations.  Because every pipeline stage except scheduling is
+    shared through the compilation cache, a promoted point pays only
+    one extra schedule pass — so the screen explores an ``eta``-times
+    wider net for roughly the cost of the promotions alone.
+    """
+
+    name = "successive-halving"
+
+    def __init__(
+        self, space: SearchSpace, *, eta: int = 3, **kwargs: Any
+    ) -> None:
+        super().__init__(space, **kwargs)
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        self.eta = eta
+        self._promotions: list[Point] = []
+        self._screen_failed = False
+
+    def propose(self, limit: int) -> list[Proposal]:
+        if self._promotions:
+            batch = [Proposal(p, FULL) for p in self._promotions[:limit]]
+            self._promotions = self._promotions[limit:]
+            return batch
+        if self._screen_failed:
+            return []
+        pool = self.eta * max(limit, 1)
+        batch: list[Proposal] = []
+        attempts = 0
+        while len(batch) < pool and attempts < 200 * pool:
+            attempts += 1
+            point = self.claim(self.space.sample(self.rng))
+            if point is not None:
+                batch.append(Proposal(point, PROXY))
+        if not batch:
+            self._screen_failed = True
+        return batch
+
+    def observe(self, results: Sequence[EvaluationResult]) -> None:
+        screened = [
+            r
+            for r in results
+            if r.fidelity == PROXY and r.feasible and "latency" in r.objectives
+        ]
+        if not screened:
+            return
+        screened.sort(key=lambda r: r.objectives["latency"])
+        keep = math.ceil(len(screened) / self.eta)
+        self._promotions.extend(dict(r.point) for r in screened[:keep])
+
+
+class EvolutionaryStrategy(Strategy):
+    """Mutation/crossover search steered by Pareto dominance.
+
+    Seeds with a random population, then breeds children by uniform
+    crossover of tournament-selected parents followed by mutation.
+    Tournaments prefer non-dominated archive members, so the
+    population drifts toward the current frontier while mutation keeps
+    exploring off it.
+    """
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        *,
+        population: int = 8,
+        mutation_rate: float = 0.25,
+        tournament: int = 2,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(space, **kwargs)
+        if population < 2:
+            raise ValueError(f"population must be >= 2, got {population}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+        self.population = population
+        self.mutation_rate = mutation_rate
+        self.tournament = max(2, tournament)
+        #: Evaluated (point, canonical objective vector) pairs.
+        self._archive: list[tuple[Point, tuple[float, ...]]] = []
+
+    def _select(self) -> Point:
+        contenders = [
+            self._archive[self.rng.randrange(len(self._archive))]
+            for _ in range(min(self.tournament, len(self._archive)))
+        ]
+        winner = contenders[0]
+        for challenger in contenders[1:]:
+            if dominates(challenger[1], winner[1]):
+                winner = challenger
+        return winner[0]
+
+    def propose(self, limit: int) -> list[Proposal]:
+        batch: list[Proposal] = []
+        attempts = 0
+        seeding = len(self._archive) < 2
+        target = min(limit, self.population) if seeding else limit
+        while len(batch) < target and attempts < 200 * max(target, 1):
+            attempts += 1
+            if seeding:
+                raw = self.space.sample(self.rng)
+            else:
+                child = self.space.crossover(self._select(), self._select(), self.rng)
+                raw = self.space.mutate(child, self.rng, self.mutation_rate)
+            point = self.claim(raw)
+            if point is not None:
+                batch.append(Proposal(point))
+        return batch
+
+    def observe(self, results: Sequence[EvaluationResult]) -> None:
+        for result in results:
+            if result.fidelity != FULL or not result.feasible:
+                continue
+            try:
+                vector = canonical_vector(result.objectives, self.objectives)
+            except KeyError:
+                continue
+            self._archive.append((dict(result.point), vector))
+
+
+# ---------------------------------------------------------------------------
+# registry (mirrors register_scheduler / register_mapping)
+# ---------------------------------------------------------------------------
+
+StrategyFactory = Callable[..., Strategy]
+
+_STRATEGIES: dict[str, StrategyFactory] = {}
+_BUILTIN_STRATEGIES = ("grid", "random", "successive-halving", "evolutionary")
+
+
+def register_strategy(
+    name: str, factory: StrategyFactory, replace: bool = False
+) -> None:
+    """Register a search strategy by name.
+
+    ``factory`` is called as ``factory(space, seed=..., budget=...,
+    objectives=..., **strategy_options)`` and must return a
+    :class:`Strategy`.
+    """
+    if not replace and name in _STRATEGIES:
+        raise ValueError(f"strategy {name!r} is already registered")
+    _STRATEGIES[name] = factory
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a registered strategy (builtins cannot be removed)."""
+    if name in _BUILTIN_STRATEGIES:
+        raise ValueError(f"cannot unregister builtin strategy {name!r}")
+    _STRATEGIES.pop(name, None)
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, builtins first."""
+    return tuple(_STRATEGIES)
+
+
+def make_strategy(
+    name: str,
+    space: SearchSpace,
+    *,
+    seed: int = 0,
+    budget: Optional[int] = None,
+    objectives: Sequence[str] = ("latency", "energy"),
+    **options: Any,
+) -> Strategy:
+    """Instantiate a registered strategy."""
+    if name not in _STRATEGIES:
+        raise KeyError(
+            f"unknown strategy {name!r}; registered: {strategy_names()}"
+        )
+    return _STRATEGIES[name](
+        space, seed=seed, budget=budget, objectives=objectives, **options
+    )
+
+
+register_strategy("grid", GridStrategy)
+register_strategy("random", RandomStrategy)
+register_strategy("successive-halving", SuccessiveHalvingStrategy)
+register_strategy("evolutionary", EvolutionaryStrategy)

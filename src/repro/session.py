@@ -1,7 +1,7 @@
 """The public compilation API: :class:`Session`.
 
 A session binds a target architecture to a compilation cache and a
-pass manager, and exposes the three verbs users actually need::
+pass manager, and exposes the four verbs users actually need::
 
     from repro import Session, ScheduleOptions, paper_case_study
 
@@ -9,6 +9,7 @@ pass manager, and exposes the three verbs users actually need::
     compiled = session.compile(model)            # CompiledModel
     metrics = session.evaluate(compiled)         # Eq. 2/3 metrics
     results = session.sweep(["tinyyolov3"])      # the Fig. 7 grid
+    explored = session.explore("tinyyolov3")     # Pareto search (DSE)
 
 Repeated compiles through one session share stage results via the
 session cache (preprocessing, tiling, duplication rewrites...), and
@@ -192,6 +193,59 @@ class Session:
             options_overrides=options_overrides,
             graphs=graphs,
         )
+
+    # -- explore -------------------------------------------------------
+
+    def explore(
+        self,
+        model: Union[Graph, str],
+        *,
+        space: Optional["SearchSpace"] = None,  # noqa: F821
+        objectives: Sequence[str] = ("latency", "energy"),
+        strategy: str = "random",
+        strategy_options: Optional[dict] = None,
+        budget: int = 40,
+        store: Union["RunStore", str, None] = None,  # noqa: F821
+        resume: bool = True,
+        seed: int = 0,
+        jobs: Optional[int] = 1,
+        max_total_pes: Optional[int] = None,
+    ) -> "ExplorationResult":  # noqa: F821 - forward ref to repro.explore
+        """Multi-objective design-space search around this session.
+
+        ``model`` is a graph or a zoo model name.  The search space
+        defaults to :func:`repro.explore.default_space` (schedule
+        knobs, duplication caps, PE budget, PEs per tile); points are
+        scored on ``objectives`` (any names registered through
+        :func:`repro.explore.register_objective`) and the result
+        carries the incremental Pareto frontier.  ``store`` names a
+        JSONL run store: every evaluation is journalled, and re-runs
+        reuse journalled points without recompiling (``resume``).
+        This session's architecture serves as the template for
+        explored architectures (crossbar timing, NoC, DRAM specs);
+        its cache is shared with the exploration, and ``jobs`` fans
+        evaluation out over worker processes.
+        """
+        from .explore.engine import Explorer
+        from .models.zoo import build
+
+        graph = build(model) if isinstance(model, str) else model
+        explorer = Explorer(
+            graph,
+            base_arch=self.arch,
+            space=space,
+            objectives=objectives,
+            strategy=strategy,
+            strategy_options=strategy_options,
+            budget=budget,
+            store=store,
+            resume=resume,
+            seed=seed,
+            jobs=jobs,
+            cache=self.cache,
+            max_total_pes=max_total_pes,
+        )
+        return explorer.run()
 
     # -- helpers -------------------------------------------------------
 

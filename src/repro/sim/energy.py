@@ -50,18 +50,50 @@ class EnergyModelConfig:
 
 @dataclass
 class EnergyReport:
-    """Energy breakdown of one compiled configuration, in microjoules."""
+    """Energy breakdown of one compiled configuration, in microjoules.
+
+    Degenerate schedules (an empty model compiles to a zero-cycle
+    schedule) produce an all-zero report; the derived quantities below
+    guard their divisions so such reports never raise.
+    """
 
     config_name: str
     mvm_uj: float
     noc_uj: float
     static_uj: float
+    #: Schedule makespan in nanoseconds (0.0 for empty schedules).
+    makespan_ns: float = 0.0
     details: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_uj(self) -> float:
         """Total inference energy in microjoules."""
         return self.mvm_uj + self.noc_uj + self.static_uj
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Whether this report describes a zero-cycle schedule."""
+        return self.makespan_ns == 0.0
+
+    @property
+    def average_power_mw(self) -> float:
+        """Mean power over the inference, in milliwatts.
+
+        Zero for degenerate (zero-cycle) schedules rather than a
+        division by zero.
+        """
+        if self.makespan_ns == 0.0:
+            return 0.0
+        # uJ / ns = kW; convert to mW.
+        return self.total_uj / self.makespan_ns * 1e6
+
+    @property
+    def energy_per_active_cycle_nj(self) -> float:
+        """Mean energy per active PE-cycle, in nanojoules (0 if none)."""
+        active = self.details.get("active_pe_cycles", 0.0)
+        if active == 0.0:
+            return 0.0
+        return self.total_uj * 1e3 / active
 
     def summary(self) -> str:
         """One-line human-readable breakdown."""
@@ -81,7 +113,21 @@ def estimate_energy(
     invariant); NoC energy depends on the placement and set structure;
     static energy scales with the makespan — so faster schedules save
     static energy, and duplication trades extra NoC traffic for it.
+
+    A zero-cycle schedule (empty model) yields a well-defined all-zero
+    report — every term of the model is proportional to activity or
+    makespan, and the report's derived ratios guard their divisions.
     """
+    if compiled.schedule.makespan == 0:
+        return EnergyReport(
+            config_name=compiled.options.paper_name,
+            mvm_uj=0.0,
+            noc_uj=0.0,
+            static_uj=0.0,
+            makespan_ns=0.0,
+            details={"active_pe_cycles": 0.0},
+        )
+
     active = active_pe_cycles(compiled.schedule, compiled.placement)
     mvm_nj = config.mvm_energy_nj * sum(active.values())
 
@@ -116,5 +162,6 @@ def estimate_energy(
         mvm_uj=mvm_nj / 1e3,
         noc_uj=noc_nj / 1e3,
         static_uj=static_nj / 1e3,
+        makespan_ns=makespan_ns,
         details={"active_pe_cycles": float(sum(active.values()))},
     )

@@ -44,10 +44,17 @@ class TestCsvExport:
     def test_values_parse(self, sweep_results):
         for line in sweep_to_csv(sweep_results).splitlines()[1:]:
             parts = line.split(",")
-            assert len(parts) == 9
+            assert len(parts) == 10
             int(parts[4])       # latency cycles
             float(parts[6])     # speedup
             float(parts[7])     # utilization
+            assert float(parts[9]) > 0  # energy (uJ)
+
+    def test_energy_in_json(self, sweep_results):
+        payload = json.loads(sweep_to_json(sweep_results))
+        assert payload[0]["baseline"]["energy_uj"] > 0
+        for point in payload[0]["points"]:
+            assert point["energy_uj"] > 0
 
 
 class TestJsonExport:

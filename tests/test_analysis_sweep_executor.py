@@ -189,3 +189,134 @@ class TestStreamingEarlyExit:
         first = next(stream)
         assert first.config == "layer-by-layer"
         stream.close()  # would hang without cancel_futures on shutdown
+
+
+class TestEnergyInSweepResults:
+    """Sweep and explore paths score the same objectives (energy)."""
+
+    def test_every_point_carries_energy(self):
+        spec, graph = small_spec()
+        result = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                 options_overrides=COARSE)
+        assert result.baseline_energy_uj is not None
+        assert result.baseline_energy_uj > 0
+        for point in result.points:
+            assert point.energy_uj is not None and point.energy_uj > 0
+
+    def test_best_energy_accessor(self):
+        spec, graph = small_spec()
+        result = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                 options_overrides=COARSE)
+        best = result.best_energy()
+        assert best.energy_uj == min(p.energy_uj for p in result.points)
+
+    def test_best_energy_without_estimates_raises(self):
+        spec, graph = small_spec()
+        result = benchmark_sweep(spec, xs=(2,), graph=graph,
+                                 options_overrides=COARSE)
+        from dataclasses import replace as dc_replace
+
+        result.points = [dc_replace(p, energy_uj=None) for p in result.points]
+        with pytest.raises(ValueError, match="no energy"):
+            result.best_energy()
+
+    def test_parallel_energy_matches_serial(self):
+        spec, graph = small_spec()
+        serial = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                 options_overrides=COARSE, jobs=1)
+        parallel = benchmark_sweep(spec, xs=(2, 4), graph=graph,
+                                   options_overrides=COARSE, jobs=2)
+        assert [p.energy_uj for p in serial.points] == [
+            p.energy_uj for p in parallel.points
+        ]
+
+
+class TestTaskStreams:
+    """iter_task_evals: the executor generalized beyond the paper grid."""
+
+    def tasks(self, graph, n=4):
+        from repro.analysis.sweep import EvalTask
+        from repro.arch import paper_case_study
+        from repro.core import ScheduleOptions
+        from repro.mapping import minimum_pe_requirement
+
+        min_pes = minimum_pe_requirement(graph, CrossbarSpec())
+        tasks = []
+        for i in range(n):
+            tasks.append(EvalTask(
+                key=f"t{i}",
+                arch=paper_case_study(min_pes + 2 * (i + 1)),
+                options=ScheduleOptions(
+                    mapping="wdup" if i % 2 else "none",
+                    scheduling="clsa-cim",
+                    granularity=SetGranularity(rows_per_set=4),
+                ),
+            ))
+        return tasks
+
+    def test_serial_stream(self):
+        spec, graph = small_spec()
+        executor = SweepExecutor(jobs=1)
+        results = executor.run_tasks(graph, self.tasks(graph))
+        assert set(results) == {"t0", "t1", "t2", "t3"}
+        for evaluation in results.values():
+            assert evaluation.metrics.latency_cycles > 0
+            assert evaluation.energy_uj > 0
+
+    def test_parallel_stream_matches_serial(self):
+        spec, graph = small_spec()
+        tasks = self.tasks(graph)
+        serial = SweepExecutor(jobs=1).run_tasks(graph, tasks)
+        executor = SweepExecutor(jobs=2)
+        try:
+            parallel = executor.run_tasks(graph, tasks)
+        finally:
+            executor.close_pool()
+        for key in serial:
+            assert serial[key].metrics.latency_cycles == \
+                parallel[key].metrics.latency_cycles
+            assert serial[key].energy_uj == parallel[key].energy_uj
+
+    def test_stream_pool_persists_across_batches(self):
+        """Batch N+1 reuses batch N's worker pool (and with it the
+        per-process compilation caches)."""
+        spec, graph = small_spec()
+        tasks = self.tasks(graph)
+        executor = SweepExecutor(jobs=2)
+        try:
+            executor.run_tasks(graph, tasks[:2])
+            first_pool = executor._stream_pool
+            executor.run_tasks(graph, tasks[2:])
+            assert executor._stream_pool is first_pool
+            if first_pool is not None:  # pools may be unavailable in CI
+                executor.close_pool()
+                assert executor._stream_pool is None
+        finally:
+            executor.close_pool()
+
+    def test_duplicate_keys_rejected(self):
+        spec, graph = small_spec()
+        tasks = self.tasks(graph)
+        dupes = tasks + [tasks[0]]
+        with pytest.raises(ValueError, match="unique"):
+            list(SweepExecutor(jobs=1).iter_task_evals(graph, dupes))
+
+    def test_want_energy_false_skips_estimate(self):
+        from dataclasses import replace as dc_replace
+
+        spec, graph = small_spec()
+        task = dc_replace(self.tasks(graph, n=1)[0], want_energy=False)
+        (result,) = SweepExecutor(jobs=1).run_tasks(graph, [task]).values()
+        assert result.energy is None
+        assert result.energy_uj is None
+        assert result.metrics.latency_cycles > 0
+
+    def test_stream_shares_executor_cache(self):
+        spec, graph = small_spec()
+        from repro.core.cache import CompilationCache
+
+        cache = CompilationCache()
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run_tasks(graph, self.tasks(graph))
+        # tiling runs once; later tasks hit the shared cache
+        assert cache.stats["tile"].hits >= 2

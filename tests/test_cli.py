@@ -7,6 +7,41 @@ import pytest
 from repro.cli import main
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        prog, _, version = out.partition(" ")
+        assert prog == "clsa-cim"
+        assert version  # non-empty, e.g. "1.2.0"
+        assert all(part.isdigit() for part in version.split("."))
+
+    def test_version_matches_package_metadata(self, capsys):
+        """Installed metadata wins; source trees fall back to the
+        module constant — either way the printed version is the
+        resolved package version."""
+        from repro.cli import _package_version
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert _package_version() in capsys.readouterr().out
+
+    def test_version_fallback_without_metadata(self, monkeypatch):
+        """Uninstalled source checkouts report repro.__version__."""
+        import importlib.metadata
+
+        import repro
+        from repro.cli import _package_version
+
+        def missing(_name):
+            raise importlib.metadata.PackageNotFoundError
+
+        monkeypatch.setattr(importlib.metadata, "version", missing)
+        assert _package_version() == repro.__version__
+
+
 class TestTables:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

@@ -1,0 +1,147 @@
+"""Tests for the ``explore`` CLI subcommand."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_explore(tmp_path, capsys, *extra, budget="6", model="tiny_sequential"):
+    out = str(tmp_path / "store.jsonl")
+    code = main(
+        ["explore", "--model", model, "--strategy", "random",
+         "--budget", budget, "--seed", "7", "--out", out,
+         "--max-extra-pes", "16", *extra]
+    )
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err, out
+
+
+class TestExploreCommand:
+    def test_text_output(self, tmp_path, capsys):
+        code, out, store = run_explore(tmp_path, capsys)
+        assert code == 0
+        assert "Pareto frontier" in out
+        assert "evaluated 6" in out
+        assert os.path.exists(store)
+
+    def test_journals_every_point(self, tmp_path, capsys):
+        _, _, store = run_explore(tmp_path, capsys)
+        lines = [json.loads(line) for line in open(store).read().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert len([entry for entry in lines if entry["kind"] == "record"]) == 6
+
+    def test_resume_reevaluates_nothing(self, tmp_path, capsys):
+        run_explore(tmp_path, capsys)
+        code, out, _ = run_explore(tmp_path, capsys, "--resume")
+        assert code == 0
+        assert "evaluated 0 (+0 proxy)" in out
+        assert "compiles this run: 0" in out
+
+    def test_existing_store_without_resume_errors(self, tmp_path, capsys):
+        run_explore(tmp_path, capsys)
+        code, out, _ = run_explore(tmp_path, capsys)
+        assert code == 2
+        assert "--resume" in out
+
+    def test_csv_format(self, tmp_path, capsys):
+        code, out, _ = run_explore(tmp_path, capsys, "--format", "csv")
+        assert code == 0
+        lines = [line for line in out.splitlines() if line]
+        assert lines[0].startswith("latency,energy")
+        assert len(lines) >= 2  # header + at least one frontier point
+
+    def test_json_format(self, tmp_path, capsys):
+        code, out, _ = run_explore(tmp_path, capsys, "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["strategy"] == "random"
+        assert payload["counters"]["evaluated_full"] == 6
+        assert payload["frontier"]
+        for entry in payload["frontier"]:
+            assert set(entry["values"]) == {"latency", "energy"}
+
+    def test_objectives_flag(self, tmp_path, capsys):
+        code, out, _ = run_explore(
+            tmp_path, capsys, "--objectives", "latency", "utilization",
+            "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["objectives"] == ["latency", "utilization"]
+
+    def test_max_total_pes(self, tmp_path, capsys):
+        code, out, _ = run_explore(
+            tmp_path, capsys, "--max-total-pes", "12", "--format", "json"
+        )
+        assert code == 0
+        assert json.loads(out)["counters"]["infeasible"] > 0
+
+    def test_bad_space_bounds_exit_cleanly(self, tmp_path, capsys):
+        """Space-construction errors get the explore: message + exit 2,
+        not a traceback (regression)."""
+        code, out, _ = run_explore(tmp_path, capsys, "--max-extra-pes", "2")
+        assert code == 2
+        assert "explore:" in out
+        assert "hi must be >= lo" in out
+
+    def test_strategy_choices_enforced(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["explore", "--model", "tiny_sequential",
+                  "--strategy", "annealing"])
+
+    def test_objective_choices_enforced(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["explore", "--model", "tiny_sequential",
+                  "--objectives", "speed"])
+
+    def test_help_documents_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explore", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--strategy", "--budget", "--objectives",
+                     "--resume", "--out", "--jobs", "--seed"):
+            assert flag in out
+
+    def test_successive_halving_via_cli(self, tmp_path, capsys):
+        out_path = str(tmp_path / "sh.jsonl")
+        code = main(
+            ["explore", "--model", "tiny_sequential",
+             "--strategy", "successive-halving", "--budget", "6",
+             "--seed", "3", "--out", out_path, "--max-extra-pes", "16"]
+        )
+        assert code == 0
+        assert "proxy" in capsys.readouterr().out
+
+
+class TestAcceptance:
+    """The issue's acceptance scenario, on the real tinyyolov3 model."""
+
+    def test_tinyyolov3_budget_40_resumable(self, tmp_path, capsys):
+        store = str(tmp_path / "tinyyolov3.jsonl")
+        args = ["explore", "--model", "tinyyolov3", "--strategy", "random",
+                "--budget", "40", "--resume", "--out", store,
+                "--format", "json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        # every evaluated point journalled
+        records = [
+            json.loads(line) for line in open(store).read().splitlines()
+        ][1:]
+        assert len(records) == first["counters"]["evaluated_full"]
+        # non-trivial (latency, energy) frontier: >= 2 points with
+        # genuinely different tradeoffs
+        frontier = first["frontier"]
+        assert len(frontier) >= 2
+        assert len({e["values"]["latency"] for e in frontier}) >= 2
+        assert len({e["values"]["energy"] for e in frontier}) >= 2
+
+        # second invocation: zero duplicate compiles
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["counters"]["compiles"] == 0
+        assert second["counters"]["evaluated_full"] == 0
+        assert second["counters"]["reused_full"] == 40
+        assert second["frontier"] == frontier

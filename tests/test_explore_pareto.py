@@ -1,0 +1,176 @@
+"""Tests for the incremental Pareto frontier (repro.explore.pareto).
+
+The headline property test: offering random objective vectors to the
+incremental frontier one by one leaves exactly the set a brute-force
+dominance scan selects.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (
+    ObjectiveSpec,
+    ParetoFrontier,
+    dominates,
+    pareto_indices,
+    resolve_objectives,
+)
+
+LAT_EN = resolve_objectives(("latency", "energy"))
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (2, 1))
+        assert not dominates((2, 1), (1, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestFrontier:
+    def frontier(self):
+        return ParetoFrontier(LAT_EN)
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(())
+
+    def test_single_point(self):
+        front = self.frontier()
+        assert front.add("a", {"latency": 10, "energy": 5})
+        assert len(front) == 1
+
+    def test_dominated_offer_rejected(self):
+        front = self.frontier()
+        front.add("a", {"latency": 10, "energy": 5})
+        assert not front.add("b", {"latency": 11, "energy": 6})
+        assert len(front) == 1
+        assert front.dominated_offers == 1
+
+    def test_dominating_offer_evicts(self):
+        front = self.frontier()
+        front.add("a", {"latency": 10, "energy": 5})
+        front.add("b", {"latency": 12, "energy": 4})
+        assert front.add("c", {"latency": 9, "energy": 3})  # beats both
+        assert [e.key for e in front] == ["c"]
+
+    def test_incomparable_coexist(self):
+        front = self.frontier()
+        front.add("a", {"latency": 10, "energy": 5})
+        assert front.add("b", {"latency": 5, "energy": 10})
+        assert len(front) == 2
+
+    def test_duplicate_vectors_coexist(self):
+        front = self.frontier()
+        front.add("a", {"latency": 10, "energy": 5})
+        assert front.add("b", {"latency": 10, "energy": 5})
+        assert len(front) == 2
+
+    def test_reoffered_key_replaces(self):
+        front = self.frontier()
+        front.add("a", {"latency": 10, "energy": 5})
+        front.add("a", {"latency": 10, "energy": 5})
+        assert len(front) == 1
+
+    def test_max_objective_sense(self):
+        front = ParetoFrontier(resolve_objectives(("latency", "utilization")))
+        front.add("a", {"latency": 10, "utilization": 0.5})
+        # higher utilization at equal latency dominates
+        assert front.add("b", {"latency": 10, "utilization": 0.9})
+        assert [e.key for e in front] == ["b"]
+
+    def test_best(self):
+        front = self.frontier()
+        front.add("a", {"latency": 10, "energy": 5})
+        front.add("b", {"latency": 5, "energy": 10})
+        assert front.best("latency").key == "b"
+        assert front.best("energy").key == "a"
+        with pytest.raises(KeyError):
+            front.best("utilization")
+
+    def test_missing_objective_value_raises(self):
+        with pytest.raises(KeyError):
+            self.frontier().add("a", {"latency": 10})
+
+    def test_summary(self):
+        front = self.frontier()
+        assert "empty" in front.summary()
+        front.add("a", {"latency": 10, "energy": 5})
+        assert "best latency=10" in front.summary()
+
+
+@st.composite
+def objective_dicts(draw):
+    scale = draw(st.sampled_from([1, 3]))  # small scale forces ties
+    return {
+        "latency": draw(st.integers(0, scale)),
+        "energy": draw(st.integers(0, scale)),
+        "utilization": draw(st.integers(0, scale)),
+    }
+
+
+class TestFrontierMatchesBruteForce:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(objective_dicts(), max_size=40), st.booleans())
+    def test_incremental_equals_brute_force(self, values, mixed_senses):
+        """The archive is exactly the non-dominated subset of all offers."""
+        names = ("latency", "utilization") if mixed_senses else ("latency", "energy")
+        objectives = resolve_objectives(names)
+        front = ParetoFrontier(objectives)
+        for index, point in enumerate(values):
+            front.add(f"p{index}", point)
+
+        vectors = [
+            tuple(spec.canonical(point[spec.name]) for spec in objectives)
+            for point in values
+        ]
+        expected = {f"p{i}" for i in pareto_indices(vectors)}
+        assert {entry.key for entry in front} == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(objective_dicts(), min_size=1, max_size=30))
+    def test_insertion_order_irrelevant(self, values):
+        keyed = [(f"p{i}", v) for i, v in enumerate(values)]
+        forward = ParetoFrontier(LAT_EN)
+        backward = ParetoFrontier(LAT_EN)
+        for key, point in keyed:
+            forward.add(key, point)
+        for key, point in reversed(keyed):
+            backward.add(key, point)
+        assert {e.key for e in forward} == {e.key for e in backward}
+
+
+class TestCustomObjective:
+    def test_register_and_use(self):
+        from repro.explore import register_objective
+        from repro.explore.objectives import OBJECTIVES
+
+        register_objective(ObjectiveSpec("area", "min", units="mm2"))
+        try:
+            front = ParetoFrontier(resolve_objectives(("latency", "area")))
+            front.add("a", {"latency": 10, "area": 2.0})
+            assert front.best("area").values["area"] == 2.0
+        finally:
+            OBJECTIVES.pop("area", None)
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveSpec("x", "both")
+
+    def test_resolve_rejects_unknown_and_dupes(self):
+        with pytest.raises(KeyError):
+            resolve_objectives(("latency", "speed"))
+        with pytest.raises(ValueError):
+            resolve_objectives(("latency", "latency"))
+        with pytest.raises(ValueError):
+            resolve_objectives(())

@@ -1,0 +1,180 @@
+"""Tests for the declarative search space (repro.explore.space)."""
+
+import random
+
+import pytest
+
+from repro.explore import (
+    Categorical,
+    Integer,
+    LogInteger,
+    SearchSpace,
+    default_space,
+)
+
+
+class TestDimensions:
+    def test_categorical(self):
+        dim = Categorical("mapping", ["none", "wdup"])
+        assert dim.choices == ("none", "wdup")
+        assert dim.contains("wdup")
+        assert not dim.contains("best")
+
+    def test_integer_step(self):
+        dim = Integer("x", 2, 10, step=4)
+        assert dim.choices == (2, 6, 10)
+
+    def test_log_integer_grid(self):
+        assert LogInteger("x", 1, 8).choices == (1, 2, 4, 8)
+        assert LogInteger("x", 4, 64).choices == (4, 8, 16, 32, 64)
+        assert LogInteger("x", 3, 100, base=3).choices == (3, 9, 27, 81)
+
+    def test_sample_on_grid(self):
+        rng = random.Random(0)
+        dim = LogInteger("x", 1, 16)
+        assert all(dim.sample(rng) in dim.choices for _ in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Categorical("x", [])
+        with pytest.raises(ValueError):
+            Categorical("x", [1, 1])
+        with pytest.raises(ValueError):
+            Integer("x", 5, 1)
+        with pytest.raises(ValueError):
+            LogInteger("x", 0, 8)
+        with pytest.raises(ValueError):
+            LogInteger("x", 1, 8, base=1)
+        with pytest.raises(ValueError):
+            Categorical("", [1])
+
+
+def toy_space(**kwargs):
+    return SearchSpace(
+        [Categorical("a", ["p", "q"]), LogInteger("b", 1, 4)], **kwargs
+    )
+
+
+class TestSearchSpace:
+    def test_size_and_grid(self):
+        space = toy_space()
+        assert space.size() == 6
+        points = list(space.grid())
+        assert len(points) == 6
+        assert all(space.contains(p) for p in points)
+        # odometer order: first dimension varies slowest
+        assert points[0] == {"a": "p", "b": 1}
+        assert points[-1] == {"a": "q", "b": 4}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([Categorical("a", [1]), Categorical("a", [2])])
+
+    def test_contains_rejects_off_grid_and_missing(self):
+        space = toy_space()
+        assert not space.contains({"a": "p", "b": 3})
+        assert not space.contains({"a": "p"})
+        assert not space.contains({"a": "p", "b": 1, "c": 0})
+
+    def test_constraints(self):
+        space = toy_space(
+            constraints=[("no-q4", lambda p: not (p["a"] == "q" and p["b"] == 4))]
+        )
+        assert space.is_valid({"a": "q", "b": 2})
+        assert not space.is_valid({"a": "q", "b": 4})
+        assert space.violated_constraints({"a": "q", "b": 4}) == ["no-q4"]
+        assert len(list(space.grid())) == 5
+        rng = random.Random(3)
+        for _ in range(30):
+            assert space.is_valid(space.sample(rng))
+
+    def test_unsatisfiable_constraint_raises(self):
+        space = toy_space(constraints=[("never", lambda p: False)])
+        with pytest.raises(RuntimeError):
+            space.sample(random.Random(0), max_attempts=20)
+
+    def test_sample_deterministic_per_seed(self):
+        space = toy_space()
+        a = [space.sample(random.Random(5)) for _ in range(5)]
+        b = [space.sample(random.Random(5)) for _ in range(5)]
+        assert a == b
+
+    def test_mutate_changes_point_and_stays_valid(self):
+        space = toy_space()
+        rng = random.Random(1)
+        point = {"a": "p", "b": 1}
+        for _ in range(20):
+            mutant = space.mutate(point, rng)
+            assert mutant != point
+            assert space.is_valid(mutant)
+
+    def test_crossover_mixes_parents(self):
+        space = toy_space()
+        rng = random.Random(2)
+        a, b = {"a": "p", "b": 1}, {"a": "q", "b": 4}
+        child = space.crossover(a, b, rng)
+        assert child["a"] in ("p", "q")
+        assert child["b"] in (1, 4)
+        assert space.is_valid(child)
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        json.dumps(toy_space().describe())
+
+
+class TestDefaultSpace:
+    def test_dimensions_cover_the_knobs(self):
+        space = default_space()
+        names = set(space.names)
+        assert {
+            "mapping", "scheduling", "rows_per_set", "order_mode",
+            "duplication_axis", "d_max_cap", "extra_pes", "pes_per_tile",
+        } <= names
+
+    def test_no_arch_dims_when_disabled(self):
+        names = set(default_space(include_arch=False).names)
+        assert "extra_pes" not in names
+        assert "pes_per_tile" not in names
+
+    def test_crossbar_dim_only_when_varied(self):
+        assert "crossbar_dim" not in default_space().names
+        assert "crossbar_dim" in default_space(crossbar_dims=(128, 256)).names
+
+    def test_canonicalize_collapses_dead_knobs(self):
+        space = default_space()
+        point = {
+            "mapping": "none", "scheduling": "layer-by-layer",
+            "rows_per_set": 8, "order_mode": "static",
+            "duplication_axis": "height", "d_max_cap": 4,
+            "extra_pes": 8, "pes_per_tile": 4,
+        }
+        canonical = space.canonicalize(point)
+        assert canonical["d_max_cap"] == 0
+        assert canonical["duplication_axis"] == "width"
+        assert canonical["rows_per_set"] == 1
+        assert canonical["order_mode"] == "dynamic"
+        assert canonical["pes_per_tile"] == 1
+        # live knobs survive
+        assert canonical["extra_pes"] == 8
+
+    def test_canonicalize_keeps_live_knobs(self):
+        space = default_space()
+        point = {
+            "mapping": "wdup", "scheduling": "clsa-cim",
+            "rows_per_set": 8, "order_mode": "static",
+            "duplication_axis": "height", "d_max_cap": 4,
+            "extra_pes": 8, "pes_per_tile": 4,
+        }
+        assert space.canonicalize(point) == point
+
+    def test_canonicalize_idempotent(self):
+        space = default_space()
+        rng = random.Random(9)
+        for _ in range(40):
+            once = space.canonicalize(space.sample(rng))
+            assert space.canonicalize(once) == once
+
+    def test_max_total_pes_recorded(self):
+        assert default_space().max_total_pes is None
+        assert default_space(max_total_pes=200).max_total_pes == 200

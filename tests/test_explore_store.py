@@ -1,0 +1,174 @@
+"""Tests for the resumable run store (repro.explore.store)."""
+
+import json
+
+import pytest
+
+from repro.explore import RunRecord, RunStore
+from repro.explore.store import StoreError
+
+FP = "graph-fp-1"
+
+
+def record(i, fidelity="full", feasible=True):
+    return RunRecord(
+        fingerprint=f"point-{i}",
+        fidelity=fidelity,
+        point={"extra_pes": i},
+        feasible=feasible,
+        objectives={"latency": float(i)} if feasible else {},
+        info={"num_pes": 100.0 + i},
+    )
+
+
+class TestInMemory:
+    def test_roundtrip_without_path(self):
+        store = RunStore(None, FP)
+        store.append(record(1))
+        assert "point-1" in store
+        assert store.get("point-1").objectives == {"latency": 1.0}
+        assert store.reuse_hits == 1
+        assert store.get("missing") is None
+        assert store.reuse_hits == 1
+
+
+class TestJournal:
+    def test_create_append_reload(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+            store.append(record(2, fidelity="proxy"))
+            store.append(record(3, feasible=False))
+
+        reloaded = RunStore.open(path, FP, resume=True)
+        assert len(reloaded) == 3
+        assert reloaded.loaded == 3
+        assert reloaded.get("point-2").fidelity == "proxy"
+        assert reloaded.get("point-3").feasible is False
+        assert reloaded.get("point-1").point == {"extra_pes": 1}
+
+    def test_existing_store_requires_resume(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        with pytest.raises(StoreError, match="resume"):
+            RunStore.open(path, FP, resume=False)
+
+    def test_empty_file_does_not_require_resume(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        (tmp_path / "run.jsonl").write_text("")
+        RunStore.open(path, FP, resume=False)
+
+    def test_model_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        RunStore.open(path, FP).append(record(1))
+        with pytest.raises(StoreError, match="different model"):
+            RunStore.open(path, "other-graph", resume=True)
+
+    def test_non_store_file_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(StoreError, match="not a run store"):
+            RunStore.open(str(path), FP, resume=True)
+
+    def test_future_format_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "format": 99, "graph_fingerprint": FP})
+            + "\n"
+        )
+        with pytest.raises(StoreError, match="format"):
+            RunStore.open(str(path), FP, resume=True)
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        """A crash mid-append loses only the torn record."""
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+            store.append(record(2))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "record", "fingerprint": "point-3", "fid')
+
+        reloaded = RunStore.open(path, FP, resume=True)
+        assert len(reloaded) == 2
+        assert "point-3" not in reloaded
+
+    def test_append_after_torn_line_keeps_store_readable(self, tmp_path):
+        """Resuming over a torn line truncates it on disk, so appended
+        records never concatenate onto the fragment (regression: the
+        store used to become permanently unopenable)."""
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "record", "fingerprint": "point-2", "fid')
+
+        with RunStore.open(path, FP, resume=True) as resumed:
+            resumed.append(record(3))
+            resumed.append(record(4))
+
+        again = RunStore.open(path, FP, resume=True)
+        assert {r.fingerprint for r in again} == {"point-1", "point-3", "point-4"}
+
+    def test_complete_record_missing_newline_is_kept(self, tmp_path):
+        """A record that lost only its terminator survives the resume
+        (the newline is restored rather than the record dropped)."""
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        with open(path, "r+b") as handle:
+            handle.seek(-1, 2)
+            assert handle.read(1) == b"\n"
+            handle.seek(-1, 2)
+            handle.truncate()  # strip the trailing newline only
+
+        with RunStore.open(path, FP, resume=True) as resumed:
+            assert "point-1" in resumed
+            resumed.append(record(2))
+        again = RunStore.open(path, FP, resume=True)
+        assert {r.fingerprint for r in again} == {"point-1", "point-2"}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        lines = open(path).read().splitlines()
+        lines.insert(1, "garbage{{{")
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="corrupt"):
+            RunStore.open(path, FP, resume=True)
+
+    def test_malformed_record_payload_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        store = RunStore.open(path, FP)
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "record", "fingerprint": "x"}) + "\n")
+            handle.write("\n")  # blank lines are tolerated
+            handle.write(json.dumps({"kind": "note", "text": "ignored"}) + "\n")
+        with pytest.raises(StoreError, match="malformed"):
+            RunStore.open(path, FP, resume=True)
+
+    def test_append_after_reload_extends(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        with RunStore.open(path, FP, resume=True) as store:
+            store.append(record(2))
+        assert len(RunStore.open(path, FP, resume=True)) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        assert len(RunStore.open(path, FP, resume=True)) == 1
+
+    def test_records_are_json_lines(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunStore.open(path, FP) as store:
+            store.append(record(1))
+        lines = open(path).read().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"
+        payload = json.loads(lines[1])
+        assert payload["kind"] == "record"
+        assert payload["objectives"] == {"latency": 1.0}

@@ -77,3 +77,64 @@ class TestEnergyModel:
         text = estimate_energy(compiled).summary()
         assert "uJ" in text
         assert "wdup+xinf" in text
+
+    def test_derived_quantities(self, setup):
+        compiled = compile_config(setup, "wdup", "clsa-cim")
+        report = estimate_energy(compiled)
+        assert not report.is_degenerate
+        assert report.makespan_ns == pytest.approx(compiled.latency_ns)
+        assert report.average_power_mw > 0
+        assert report.energy_per_active_cycle_nj > 0
+
+
+class TestDegenerateSchedules:
+    """Zero-cycle schedules (empty models) must not divide by zero."""
+
+    def empty_compiled(self, scheduling):
+        from repro.ir.graph import Graph
+        from repro.session import Session
+
+        session = Session(paper_case_study(4))
+        return session.compile(
+            Graph("empty"),
+            ScheduleOptions(mapping="none", scheduling=scheduling),
+        )
+
+    @pytest.mark.parametrize("scheduling", ["layer-by-layer", "clsa-cim"])
+    def test_zero_cycle_schedule_reports_all_zero(self, scheduling):
+        compiled = self.empty_compiled(scheduling)
+        assert compiled.schedule.makespan == 0
+        report = estimate_energy(compiled)
+        assert report.is_degenerate
+        assert report.total_uj == 0.0
+        assert report.mvm_uj == report.noc_uj == report.static_uj == 0.0
+        assert report.details["active_pe_cycles"] == 0.0
+
+    def test_degenerate_derived_quantities_guarded(self):
+        report = estimate_energy(self.empty_compiled("clsa-cim"))
+        # the guarded ratios return 0.0 instead of raising
+        assert report.average_power_mw == 0.0
+        assert report.energy_per_active_cycle_nj == 0.0
+
+    def test_degenerate_summary_renders(self):
+        text = estimate_energy(self.empty_compiled("clsa-cim")).summary()
+        assert "0.0 uJ" in text
+
+    def test_handbuilt_report_defaults_degenerate(self):
+        from repro.sim import EnergyReport
+
+        report = EnergyReport("x", mvm_uj=1.0, noc_uj=0.0, static_uj=0.0)
+        assert report.is_degenerate  # no makespan recorded
+        assert report.average_power_mw == 0.0
+        assert report.energy_per_active_cycle_nj == 0.0  # no active cycles
+
+    def test_average_power_consistent_units(self, setup):
+        """1 uJ over 1 ms is 1 mW."""
+        from repro.sim import EnergyReport
+
+        report = EnergyReport(
+            "x", mvm_uj=1.0, noc_uj=0.0, static_uj=0.0, makespan_ns=1e6,
+            details={"active_pe_cycles": 500.0},
+        )
+        assert report.average_power_mw == pytest.approx(1.0)
+        assert report.energy_per_active_cycle_nj == pytest.approx(2.0)
