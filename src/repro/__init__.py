@@ -61,6 +61,16 @@ from .core import (  # noqa: E402
     register_mapping,
     register_scheduler,
 )
+from .exec import (  # noqa: E402
+    CompileJob,
+    EvaluateJob,
+    Executor,
+    ExploreJob,
+    JobFuture,
+    JobResult,
+    SweepJob,
+    register_executor,
+)
 from .frontend import QuantizationConfig, preprocess  # noqa: E402
 from .mapping import minimum_pe_requirement  # noqa: E402
 from .session import Session, SessionHooks  # noqa: E402
@@ -69,20 +79,28 @@ from .sim import evaluate, simulate  # noqa: E402
 __all__ = [
     "ArchitectureConfig",
     "CompilationCache",
+    "CompileJob",
     "CompiledModel",
     "CrossbarSpec",
+    "EvaluateJob",
+    "Executor",
+    "ExploreJob",
+    "JobFuture",
+    "JobResult",
     "PassManager",
     "QuantizationConfig",
     "ScheduleOptions",
     "Session",
     "SessionHooks",
     "SetGranularity",
+    "SweepJob",
     "__version__",
     "compile_model",
     "evaluate",
     "minimum_pe_requirement",
     "paper_case_study",
     "preprocess",
+    "register_executor",
     "register_mapping",
     "register_scheduler",
     "simulate",

@@ -6,54 +6,52 @@ for ``x in {4, 8, 16, 32}`` — and returns speedups and utilizations
 relative to the baseline, i.e. the data series of Figures 6(c), 7(a)
 and 7(b).
 
-The grid is evaluated by a :class:`SweepExecutor`, a staged, cached,
-optionally-parallel engine:
+Since the unified execution redesign the grid runs on the job layer of
+:mod:`repro.exec`: every cell lowers onto an
+:class:`~repro.exec.jobs.EvaluateJob` and fans out through a pluggable
+:class:`~repro.exec.executors.Executor` (``inline``, ``thread``,
+``process``, or any backend registered via
+:func:`repro.exec.register_executor`).  The supported entry points are
+:meth:`repro.session.Session.sweep` and
+:meth:`repro.session.Session.map` over a
+:class:`~repro.exec.jobs.SweepJob`; the :class:`SweepExecutor` methods
+remain as thin deprecated shims over the same machinery and produce
+identical numbers (asserted point-wise in tests).
 
-* every config point compiles through a :class:`repro.session.Session`
-  (i.e. the pass pipeline of ``repro.core.passes``) with a shared
-  :class:`~repro.core.cache.CompilationCache`, so a sweep preprocesses
-  and tiles each model exactly once and the ``wdup``/``wdup+xinf``
-  pair at each ``x`` shares its duplication rewrite and Stage I sets;
-* with ``jobs > 1`` the points fan out over a
-  :mod:`concurrent.futures` process pool (serial fallback when no pool
-  can be created) and results stream back incrementally via
-  :meth:`SweepExecutor.iter_points`.
-
-The executor is not limited to the paper's grid: an :class:`EvalTask`
-names an arbitrary ``(architecture, options)`` configuration, and
-:meth:`SweepExecutor.iter_task_evals` evaluates any stream of them —
-this is the fan-out substrate of the design-space exploration engine
-(:mod:`repro.explore`), whose strategies produce task streams instead
-of a fixed grid.  Every evaluation scores the same objectives the
-explorer uses: latency metrics plus a first-order energy estimate.
-
-Serial, cached, and parallel execution produce identical numbers; the
-tests assert this point-wise.
+Caching and parallelism behave as they always have: every config point
+compiles through the pass pipeline with a shared
+:class:`~repro.core.cache.CompilationCache` per benchmark (so a sweep
+preprocesses and tiles each model exactly once, and the
+``wdup``/``wdup+xinf`` pair at each ``x`` shares its duplication
+rewrite and Stage I sets), process workers hold per-process caches,
+and pool failures fall back to serial execution with identical
+results.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from concurrent import futures
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..arch.config import ArchitectureConfig
 from ..arch.presets import paper_case_study
 from ..core.cache import CompilationCache
 from ..core.pipeline import ScheduleOptions, preprocess_stage
-from ..ir import serialize
+from ..exec.executors import Executor
+from ..exec.jobs import EvaluateJob, Evaluation, JobResult, SweepJob
+from ..exec.runtime import JobRuntime, execute_job, warn_deprecated
 from ..ir.graph import Graph
 from ..mapping.tiling import minimum_pe_requirement
-from ..models.zoo import BenchmarkSpec
-from ..session import Session
-from ..sim.energy import EnergyReport, estimate_energy
+from ..models.zoo import BenchmarkSpec, benchmark_by_name
 from ..sim.metrics import Metrics
 
 #: The paper's extra-PE sweep values (Sec. V-B).
 PAPER_XS = (4, 8, 16, 32)
+
+#: Backward-compatible alias: the scored outcome of one evaluation.
+TaskEval = Evaluation
 
 
 @dataclass(frozen=True)
@@ -124,8 +122,8 @@ class SweepResult:
 class SweepTask:
     """One (benchmark, configuration, x) evaluation of a sweep grid.
 
-    Plain-data and picklable, so tasks can cross a process-pool
-    boundary; the worker rebuilds architecture and options from it.
+    Plain-data and picklable; lowers onto an
+    :class:`~repro.exec.jobs.EvaluateJob` via :func:`grid_job`.
     """
 
     benchmark: str
@@ -157,12 +155,11 @@ def grid_tasks(spec: BenchmarkSpec, xs: Sequence[int] = PAPER_XS) -> list[SweepT
 class EvalTask:
     """One arbitrary ``(architecture, options)`` evaluation.
 
-    The generalization of :class:`SweepTask` beyond the paper's grid:
-    anything that can name an architecture and schedule options — a
-    grid cell, a random sample, an evolutionary mutant — becomes an
-    ``EvalTask`` and flows through the same cached/parallel executor.
-    Plain-data and picklable; ``key`` identifies the task in streamed
-    results and must be unique within one stream.
+    The historical plain-data task form consumed by
+    :meth:`SweepExecutor.iter_task_evals`; new code should submit
+    :class:`~repro.exec.jobs.EvaluateJob` through a session instead.
+    ``key`` identifies the task in streamed results and must be unique
+    within one stream.
     """
 
     key: str
@@ -171,18 +168,16 @@ class EvalTask:
     #: Skip the energy estimate (proxy evaluations want latency only).
     want_energy: bool = True
 
-
-@dataclass(frozen=True)
-class TaskEval:
-    """The scored outcome of one :class:`EvalTask`."""
-
-    metrics: Metrics
-    energy: Optional[EnergyReport] = None
-
-    @property
-    def energy_uj(self) -> Optional[float]:
-        """Total estimated inference energy in microjoules."""
-        return None if self.energy is None else self.energy.total_uj
+    def to_job(self, graph: Union[Graph, str]) -> EvaluateJob:
+        """Lower onto the canonical job form."""
+        return EvaluateJob(
+            graph=graph,
+            arch=self.arch,
+            options=self.options,
+            assume_canonical=True,
+            want_energy=self.want_energy,
+            key=self.key,
+        )
 
 
 def evaluate_eval_task(
@@ -193,24 +188,29 @@ def evaluate_eval_task(
     hooks=(),
 ) -> TaskEval:
     """Compile and score one arbitrary configuration point."""
-    session = Session(
-        task.arch, cache=cache, hooks=hooks, pass_manager=pass_manager
+    result = execute_job(
+        task.to_job(canonical), cache, pass_manager, hooks, capture=False
     )
-    compiled = session.compile(canonical, task.options, assume_canonical=True)
-    energy = estimate_energy(compiled) if task.want_energy else None
-    return TaskEval(metrics=compiled.evaluate(), energy=energy)
+    return result.value
 
 
-def _grid_eval_task(task: SweepTask, options_overrides: Optional[dict]) -> EvalTask:
-    """Lower a paper-grid cell onto the generic task form."""
-    return EvalTask(
-        key=f"{task.benchmark}/{task.config}+{task.extra_pes}",
+def grid_job(task: SweepTask, options_overrides: Optional[Mapping[str, Any]]) -> EvaluateJob:
+    """Lower a paper-grid cell onto the canonical job form.
+
+    The graph travels by benchmark name: the runtime resolves it
+    driver-side for in-process backends and ships it once through the
+    pool initializer for the ``process`` backend.
+    """
+    return EvaluateJob(
+        graph=task.benchmark,
         arch=paper_case_study(task.min_pes + task.extra_pes),
         options=ScheduleOptions(
             mapping=task.mapping,
             scheduling=task.scheduling,
-            **(options_overrides or {}),
+            **(dict(options_overrides) if options_overrides else {}),
         ),
+        assume_canonical=True,
+        key=f"{task.benchmark}/{task.config}+{task.extra_pes}",
     )
 
 
@@ -223,13 +223,8 @@ def evaluate_task_full(
     hooks=(),
 ) -> TaskEval:
     """Compile and score one grid point (metrics plus energy)."""
-    return evaluate_eval_task(
-        canonical,
-        _grid_eval_task(task, options_overrides),
-        cache,
-        pass_manager,
-        hooks,
-    )
+    job = _dc_replace(grid_job(task, options_overrides), graph=canonical)
+    return execute_job(job, cache, pass_manager, hooks, capture=False).value
 
 
 def evaluate_task(
@@ -246,51 +241,209 @@ def evaluate_task(
     ).metrics
 
 
-# --- process-pool worker plumbing ------------------------------------
-#
-# Workers receive the canonical graphs once (serialized, via the pool
-# initializer), rebuild them lazily, and keep a per-process
-# CompilationCache per benchmark, so stage reuse survives the process
-# boundary.
-
-_WORKER_STATE: dict = {}
+# ---------------------------------------------------------------------------
+# the grid driver (shared by Session.sweep/map and the legacy shims)
+# ---------------------------------------------------------------------------
 
 
-def _worker_init(payload: dict[str, str], overrides: Optional[dict], use_cache: bool) -> None:
-    _WORKER_STATE["payload"] = payload
-    _WORKER_STATE["graphs"] = {}
-    _WORKER_STATE["overrides"] = overrides
-    _WORKER_STATE["caches"] = {} if use_cache else None
+def resolve_benchmarks(
+    benchmarks: Iterable[Union[str, BenchmarkSpec]],
+) -> list[BenchmarkSpec]:
+    """Mixed names/specs → specs (names resolve against the zoo)."""
+    return [
+        benchmark_by_name(item) if isinstance(item, str) else item
+        for item in benchmarks
+    ]
 
 
-def _worker_graph(name: str) -> Graph:
-    graphs = _WORKER_STATE["graphs"]
-    if name not in graphs:
-        graphs[name] = serialize.loads(_WORKER_STATE["payload"][name])
-    return graphs[name]
+def canonicalize_spec(
+    spec: BenchmarkSpec,
+    graph: Optional[Graph],
+    cache: Optional[CompilationCache],
+) -> Graph:
+    """Preprocess one benchmark and check its published PE minimum."""
+    model = graph if graph is not None else spec.build()
+    canonical = preprocess_stage(model, cache)
+    measured_min = minimum_pe_requirement(canonical, paper_case_study(1).crossbar)
+    if measured_min != spec.min_pes:
+        raise AssertionError(
+            f"{spec.name}: measured PE minimum {measured_min} differs from "
+            f"published {spec.min_pes}"
+        )
+    return canonical
 
 
-def _worker_cache(name: str) -> Optional[CompilationCache]:
-    caches = _WORKER_STATE["caches"]
-    return None if caches is None else caches.setdefault(name, CompilationCache())
+def stream_grid(
+    runtime: JobRuntime,
+    specs: Sequence[BenchmarkSpec],
+    xs: Sequence[int] = PAPER_XS,
+    options_overrides: Optional[Mapping[str, Any]] = None,
+    graphs: Optional[Mapping[str, Graph]] = None,
+    *,
+    ordered: bool = False,
+    capture: bool = False,
+) -> Iterator[JobResult]:
+    """Stream the paper grid as :class:`JobResult` envelopes.
+
+    Each envelope's ``value`` is a :class:`ConfigPoint`.  The baseline
+    point of each benchmark (``config == 'layer-by-layer'``, speedup
+    1.0) always streams before that benchmark's other points and is
+    evaluated driver-side (its metrics anchor every speedup); the
+    remaining cells fan out through the runtime's executor, in
+    submission order when ``ordered`` else in completion order.  Specs
+    repeated by name are evaluated once.  With ``capture``, per-cell
+    failures surface as envelopes with ``error`` set instead of
+    raising (baselines always raise — without them no speedup exists).
+    """
+    unique: dict[str, BenchmarkSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.name, spec)
+    canonicals = {
+        spec.name: canonicalize_spec(
+            spec, (graphs or {}).get(spec.name), runtime.cache_for(spec.name)
+        )
+        for spec in unique.values()
+    }
+
+    baselines: dict[str, TaskEval] = {}
+    pending: list[SweepTask] = []
+    for spec in unique.values():
+        for task in grid_tasks(spec, xs):
+            if task.is_baseline:
+                job = _dc_replace(
+                    grid_job(task, options_overrides),
+                    graph=canonicals[spec.name],
+                )
+                result = execute_job(
+                    job,
+                    runtime.cache_for(spec.name),
+                    runtime.pass_manager,
+                    runtime.hooks,
+                    capture=False,
+                )
+                baselines[spec.name] = result.value
+                yield _dc_replace(
+                    result, value=_point(task, result.value, baselines)
+                )
+            else:
+                pending.append(task)
+
+    by_key = {}
+    jobs = []
+    for task in pending:
+        job = grid_job(task, options_overrides)
+        by_key[job.key] = task
+        jobs.append(job)
+    for result in runtime.map_jobs(
+        jobs, graphs=canonicals, ordered=ordered, capture=capture
+    ):
+        if result.ok:
+            point = _point(by_key[result.key], result.value, baselines)
+            yield _dc_replace(result, value=point)
+        else:
+            yield result
 
 
-def _worker_eval(task: SweepTask) -> TaskEval:
-    return evaluate_task_full(
-        _worker_graph(task.benchmark),
-        task,
-        _WORKER_STATE["overrides"],
-        _worker_cache(task.benchmark),
+def _point(
+    task: SweepTask, evaluation: TaskEval, baselines: Mapping[str, TaskEval]
+) -> ConfigPoint:
+    baseline = baselines[task.benchmark].metrics
+    metrics = evaluation.metrics
+    return ConfigPoint(
+        benchmark=task.benchmark,
+        config=task.config,
+        extra_pes=task.extra_pes,
+        metrics=metrics,
+        speedup=metrics.speedup_over(baseline),
+        utilization=metrics.utilization,
+        energy_uj=evaluation.energy_uj,
     )
 
 
-def _worker_eval_stream(item: tuple[str, EvalTask]) -> TaskEval:
-    name, task = item
-    return evaluate_eval_task(_worker_graph(name), task, _worker_cache(name))
+def assemble_sweep_results(
+    specs: Sequence[BenchmarkSpec],
+    xs: Sequence[int],
+    points: Iterable[ConfigPoint],
+) -> list[SweepResult]:
+    """Fold streamed config points into per-benchmark results.
+
+    Points sort into canonical grid order regardless of the completion
+    order they streamed in, so parallel and serial runs assemble
+    identically.
+    """
+    order = {
+        (spec.name, task.config, task.extra_pes): index
+        for spec in specs
+        for index, task in enumerate(grid_tasks(spec, xs))
+    }
+    results: dict[str, SweepResult] = {}
+    for point in points:
+        if point.config == "layer-by-layer":
+            results[point.benchmark] = SweepResult(
+                benchmark=point.benchmark,
+                min_pes=next(
+                    s.min_pes for s in specs if s.name == point.benchmark
+                ),
+                baseline=point.metrics,
+                baseline_energy_uj=point.energy_uj,
+            )
+        else:
+            results[point.benchmark].points.append(point)
+    for result in results.values():
+        result.points.sort(
+            key=lambda p: order[(p.benchmark, p.config, p.extra_pes)]
+        )
+    return [results[spec.name] for spec in specs]
+
+
+def run_grid(
+    runtime: JobRuntime,
+    specs: Sequence[BenchmarkSpec],
+    xs: Sequence[int] = PAPER_XS,
+    options_overrides: Optional[Mapping[str, Any]] = None,
+    graphs: Optional[Mapping[str, Graph]] = None,
+) -> list[SweepResult]:
+    """Run and assemble the grid (the engine behind ``Session.sweep``)."""
+    stream = stream_grid(
+        runtime, specs, xs, options_overrides, graphs, ordered=False, capture=False
+    )
+    return assemble_sweep_results(specs, xs, (r.value for r in stream))
+
+
+def sweep_job_stream(
+    runtime: JobRuntime, job: SweepJob, *, ordered: bool = True, capture: bool = True
+) -> Iterator[JobResult]:
+    """Expand a :class:`~repro.exec.jobs.SweepJob` into its grid stream."""
+    specs = resolve_benchmarks(job.benchmarks)
+    return stream_grid(
+        runtime,
+        specs,
+        job.xs if job.xs is not None else PAPER_XS,
+        job.options_overrides,
+        job.graphs,
+        ordered=ordered,
+        capture=capture,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the legacy executor (thin deprecated shims over the job layer)
+# ---------------------------------------------------------------------------
 
 
 class SweepExecutor:
     """Staged, cached, optionally-parallel sweep engine.
+
+    .. deprecated::
+        The public entry points (``run``, ``run_many``, ``iter_points``,
+        ``iter_task_evals``, ``run_tasks``) are thin shims over the
+        unified job layer and emit a :class:`DeprecationWarning` once
+        per process; use :meth:`repro.session.Session.sweep`,
+        :meth:`~repro.session.Session.map` with a
+        :class:`~repro.exec.jobs.SweepJob`, or
+        :meth:`~repro.session.Session.submit` with
+        :class:`~repro.exec.jobs.EvaluateJob` instead.  Results are
+        identical point-wise (asserted in tests).
 
     Parameters
     ----------
@@ -314,9 +467,13 @@ class SweepExecutor:
         Optional custom :class:`~repro.core.passes.PassManager` and
         pass hooks applied to every config point.  Neither can cross a
         process boundary, so setting either forces serial execution
-        (a ``RuntimeWarning`` is emitted when ``jobs > 1``) — silently
-        compiling some points without an inserted pass would produce
-        inconsistent grids.
+        (a ``RuntimeWarning`` is emitted) — silently compiling some
+        points without an inserted pass would produce inconsistent
+        grids.  The ``thread`` and ``inline`` executors keep both
+        working.
+    executor:
+        Explicit backend (name or :class:`~repro.exec.Executor`
+        instance) overriding the jobs-derived default.
     """
 
     def __init__(
@@ -326,35 +483,38 @@ class SweepExecutor:
         cache: Optional[CompilationCache] = None,
         pass_manager=None,
         hooks=(),
+        executor: Union[Executor, str, None] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = os.cpu_count() or 1 if jobs is None else jobs
         self.use_cache = use_cache
-        self._shared_cache = cache
-        self._pass_manager = pass_manager
-        self._hooks = tuple(hooks)
-        self._caches: dict[str, CompilationCache] = {}
-        # Persistent task-stream pool (see iter_task_evals): kept alive
-        # across calls so worker-process caches survive between batches.
-        # The graph reference must be strong and compared by identity —
-        # an id()-based key could alias a recycled address to a stale
-        # pool initialized with a different graph.
-        self._stream_pool: Optional[futures.ProcessPoolExecutor] = None
-        self._stream_pool_name: Optional[str] = None
-        self._stream_pool_graph: Optional[Graph] = None
+        self._runtime = JobRuntime(
+            executor,
+            jobs=jobs,
+            use_cache=use_cache,
+            cache=cache,
+            pass_manager=pass_manager,
+            hooks=hooks,
+            serial_note="sweeping serially",
+        )
+
+    @property
+    def _stream_pool(self) -> Optional[futures.ProcessPoolExecutor]:
+        """The live worker pool of a ``process`` backend (or ``None``)."""
+        return getattr(self._runtime.executor, "pool", None)
 
     def close_pool(self) -> None:
-        """Shut down the persistent task-stream pool (idempotent)."""
-        if self._stream_pool is not None:
-            self._stream_pool.shutdown(wait=False, cancel_futures=True)
-        self._stream_pool = None
-        self._stream_pool_name = None
-        self._stream_pool_graph = None
+        """Shut down pooled workers (idempotent; pools rebuild lazily)."""
+        self._runtime.reset()
+
+    def shutdown(self) -> None:
+        """Release the backend entirely (owned backends only)."""
+        self._runtime.shutdown()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
-            self.close_pool()
+            self.shutdown()
         except Exception:
             pass
 
@@ -362,26 +522,7 @@ class SweepExecutor:
 
     def cache_for(self, benchmark: str) -> Optional[CompilationCache]:
         """The executor-held cache of one benchmark (None if disabled)."""
-        if not self.use_cache:
-            return None
-        if self._shared_cache is not None:
-            return self._shared_cache
-        return self._caches.setdefault(benchmark, CompilationCache())
-
-    # -- canonicalization ---------------------------------------------
-
-    def _canonicalize(
-        self, spec: BenchmarkSpec, graph: Optional[Graph]
-    ) -> Graph:
-        model = graph if graph is not None else spec.build()
-        canonical = preprocess_stage(model, self.cache_for(spec.name))
-        measured_min = minimum_pe_requirement(canonical, paper_case_study(1).crossbar)
-        if measured_min != spec.min_pes:
-            raise AssertionError(
-                f"{spec.name}: measured PE minimum {measured_min} differs from "
-                f"published {spec.min_pes}"
-            )
-        return canonical
+        return self._runtime.cache_for(benchmark)
 
     # -- streaming evaluation -----------------------------------------
 
@@ -394,143 +535,25 @@ class SweepExecutor:
     ) -> Iterator[ConfigPoint]:
         """Stream config points as they complete.
 
-        The baseline point of each benchmark (``config ==
-        'layer-by-layer'``, speedup 1.0) is always yielded before that
-        benchmark's other points; beyond that, parallel execution
-        yields in completion order.  Specs repeated by name are
-        evaluated once.
+        .. deprecated:: use ``Session.map(SweepJob(...))``.
         """
-        unique: dict[str, BenchmarkSpec] = {}
-        for spec in specs:
-            unique.setdefault(spec.name, spec)
-        specs = list(unique.values())
-        canonicals = {
-            spec.name: self._canonicalize(spec, (graphs or {}).get(spec.name))
-            for spec in specs
-        }
+        warn_deprecated("SweepExecutor.iter_points", "Session.map(SweepJob(...))")
+        return self._iter_points(specs, xs, options_overrides, graphs)
 
-        baselines: dict[str, TaskEval] = {}
-        pending: list[SweepTask] = []
-        for spec in specs:
-            for task in grid_tasks(spec, xs):
-                if task.is_baseline:
-                    baselines[spec.name] = evaluate_task_full(
-                        canonicals[spec.name],
-                        task,
-                        options_overrides,
-                        self.cache_for(spec.name),
-                        self._pass_manager,
-                        self._hooks,
-                    )
-                    yield self._point(task, baselines[spec.name], baselines)
-                else:
-                    pending.append(task)
-
-        parallel_ok = self._pass_manager is None and not self._hooks
-        if self.jobs > 1 and not parallel_ok:
-            warnings.warn(
-                "custom pass manager/hooks cannot cross the process "
-                "boundary; sweeping serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        if self.jobs > 1 and parallel_ok and len(pending) > 1:
-            pool = self._make_pool(canonicals, options_overrides)
-            if pool is not None:
-                leftover = yield from self._pooled(
-                    pool,
-                    _worker_eval,
-                    [(task, task) for task in pending],
-                    lambda task, evaluation: self._point(
-                        task, evaluation, baselines
-                    ),
-                )
-                if leftover is None:
-                    return
-                pending = leftover
-
-        for task in pending:
-            evaluation = evaluate_task_full(
-                canonicals[task.benchmark],
-                task,
-                options_overrides,
-                self.cache_for(task.benchmark),
-                self._pass_manager,
-                self._hooks,
-            )
-            yield self._point(task, evaluation, baselines)
-
-    # -- pooled fan-out (shared by grid and task streams) --------------
-
-    def _pooled(self, pool, worker, submits, emit, keep_alive=False):
-        """Yield ``emit(item, result)`` per completed pool submission.
-
-        ``submits`` is a list of ``(item, worker_argument)`` pairs;
-        results stream back in completion order.  Workers spawn
-        lazily, so fork/spawn failures surface at submit/result time,
-        not construction — on such a failure the pool is shut down, a
-        warning is emitted, and the generator *returns* the items
-        whose results were never produced (the caller finishes them
-        serially).  A clean run returns ``None`` (shutting the pool
-        down unless ``keep_alive``); consumer abandonment
-        (GeneratorExit) or interrupts cancel the queued work and
-        propagate.
-        """
-        completed: set = set()
-        try:
-            jobs = {pool.submit(worker, arg): item for item, arg in submits}
-            for done in futures.as_completed(jobs):
-                item = jobs[done]
-                evaluation = done.result()
-                completed.add(item)
-                yield emit(item, evaluation)
-        except (OSError, BrokenProcessPool) as exc:
-            pool.shutdown(wait=False, cancel_futures=True)
-            if keep_alive:
-                self.close_pool()
-            warnings.warn(
-                f"process pool failed ({exc}); sweeping serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [item for item, _ in submits if item not in completed]
-        except BaseException:
-            # consumer abandoned the stream (GeneratorExit) or
-            # interrupted — don't block on the unfinished work
-            pool.shutdown(wait=False, cancel_futures=True)
-            if keep_alive:
-                self.close_pool()
-            raise
-        if not keep_alive:
-            pool.shutdown()
-        return None
+    def _iter_points(
+        self,
+        specs: Iterable[BenchmarkSpec],
+        xs: Sequence[int] = PAPER_XS,
+        options_overrides: Optional[dict] = None,
+        graphs: Optional[dict[str, Graph]] = None,
+    ) -> Iterator[ConfigPoint]:
+        for result in stream_grid(
+            self._runtime, list(specs), xs, options_overrides, graphs,
+            ordered=False, capture=False,
+        ):
+            yield result.value
 
     # -- arbitrary task streams ---------------------------------------
-
-    def _stream_pool_for(
-        self, canonical: Graph, name: str
-    ) -> Optional[futures.ProcessPoolExecutor]:
-        """The persistent stream pool for ``(name, canonical)``.
-
-        Kept alive across :meth:`iter_task_evals` calls so per-process
-        compilation caches survive between strategy batches — without
-        this, every exploration batch would respawn workers and
-        recompile every shared stage cold.  Switching to a different
-        graph (or stream name) replaces the pool.
-        """
-        if (
-            self._stream_pool is not None
-            and self._stream_pool_name == name
-            and self._stream_pool_graph is canonical
-        ):
-            return self._stream_pool
-        self.close_pool()
-        pool = self._make_pool({name: canonical}, None)
-        if pool is not None:
-            self._stream_pool = pool
-            self._stream_pool_name = name
-            self._stream_pool_graph = canonical
-        return pool
 
     def iter_task_evals(
         self,
@@ -540,48 +563,31 @@ class SweepExecutor:
     ) -> Iterator[tuple[EvalTask, TaskEval]]:
         """Evaluate an arbitrary stream of :class:`EvalTask`s.
 
-        The generalized core of the executor: where :meth:`iter_points`
-        walks the paper's fixed grid, this accepts any task stream —
-        in practice the proposals of a :mod:`repro.explore` search
-        strategy.  Caching and process-pool fan-out behave exactly as
-        on the grid path (serial shares this executor's cache; workers
-        hold per-process caches and stay alive across calls, see
-        :meth:`close_pool`; pool failures fall back to serial).
-        Results stream back in completion order when parallel; task
-        ``key``s must be unique within the stream.
+        .. deprecated:: submit ``EvaluateJob``s through ``Session.map``.
         """
+        warn_deprecated(
+            "SweepExecutor.iter_task_evals", "Session.map([EvaluateJob(...), ...])"
+        )
+        return self._iter_task_evals(canonical, tasks, name)
+
+    def _iter_task_evals(
+        self,
+        canonical: Graph,
+        tasks: Sequence[EvalTask],
+        name: str = "stream",
+    ) -> Iterator[tuple[EvalTask, TaskEval]]:
         tasks = list(tasks)
         keys = [task.key for task in tasks]
         if len(set(keys)) != len(keys):
             raise ValueError("EvalTask keys must be unique within a stream")
-        parallel_ok = self._pass_manager is None and not self._hooks
-        if self.jobs > 1 and not parallel_ok:
-            warnings.warn(
-                "custom pass manager/hooks cannot cross the process "
-                "boundary; evaluating serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        pending = tasks
-        if self.jobs > 1 and parallel_ok and len(pending) > 1:
-            pool = self._stream_pool_for(canonical, name)
-            if pool is not None:
-                leftover = yield from self._pooled(
-                    pool,
-                    _worker_eval_stream,
-                    [(task, (name, task)) for task in pending],
-                    lambda task, evaluation: (task, evaluation),
-                    keep_alive=True,
-                )
-                if leftover is None:
-                    return
-                pending = leftover
-
-        cache = self.cache_for(name)
-        for task in pending:
-            yield task, evaluate_eval_task(
-                canonical, task, cache, self._pass_manager, self._hooks
-            )
+        by_key = {task.key: task for task in tasks}
+        for result in self._runtime.map_jobs(
+            [task.to_job(name) for task in tasks],
+            graphs={name: canonical},
+            ordered=False,
+            capture=False,
+        ):
+            yield by_key[result.key], result.value
 
     def run_tasks(
         self,
@@ -589,47 +595,17 @@ class SweepExecutor:
         tasks: Sequence[EvalTask],
         name: str = "stream",
     ) -> dict[str, TaskEval]:
-        """Evaluate a task stream and return results keyed by task key."""
+        """Evaluate a task stream and return results keyed by task key.
+
+        .. deprecated:: submit ``EvaluateJob``s through ``Session.map``.
+        """
+        warn_deprecated(
+            "SweepExecutor.run_tasks", "Session.map([EvaluateJob(...), ...])"
+        )
         return {
             task.key: evaluation
-            for task, evaluation in self.iter_task_evals(canonical, tasks, name)
+            for task, evaluation in self._iter_task_evals(canonical, tasks, name)
         }
-
-    def _make_pool(
-        self, canonicals: dict[str, Graph], options_overrides: Optional[dict]
-    ) -> Optional[futures.ProcessPoolExecutor]:
-        payload = {
-            name: serialize.dumps(graph) for name, graph in canonicals.items()
-        }
-        try:
-            return futures.ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_worker_init,
-                initargs=(payload, options_overrides, self.use_cache),
-            )
-        except (OSError, ValueError, RuntimeError) as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc}); sweeping serially",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
-
-    @staticmethod
-    def _point(
-        task: SweepTask, evaluation: TaskEval, baselines: dict[str, TaskEval]
-    ) -> ConfigPoint:
-        baseline = baselines[task.benchmark].metrics
-        metrics = evaluation.metrics
-        return ConfigPoint(
-            benchmark=task.benchmark,
-            config=task.config,
-            extra_pes=task.extra_pes,
-            metrics=metrics,
-            speedup=metrics.speedup_over(baseline),
-            utilization=metrics.utilization,
-            energy_uj=evaluation.energy_uj,
-        )
 
     # -- assembled results --------------------------------------------
 
@@ -640,30 +616,21 @@ class SweepExecutor:
         options_overrides: Optional[dict] = None,
         graphs: Optional[dict[str, Graph]] = None,
     ) -> list[SweepResult]:
-        """Sweep several benchmarks (the Fig. 7 grid)."""
-        order = {
-            (spec.name, task.config, task.extra_pes): index
-            for spec in specs
-            for index, task in enumerate(grid_tasks(spec, xs))
-        }
-        results: dict[str, SweepResult] = {}
-        for point in self.iter_points(specs, xs, options_overrides, graphs):
-            if point.config == "layer-by-layer":
-                results[point.benchmark] = SweepResult(
-                    benchmark=point.benchmark,
-                    min_pes=next(
-                        s.min_pes for s in specs if s.name == point.benchmark
-                    ),
-                    baseline=point.metrics,
-                    baseline_energy_uj=point.energy_uj,
-                )
-            else:
-                results[point.benchmark].points.append(point)
-        for result in results.values():
-            result.points.sort(
-                key=lambda p: order[(p.benchmark, p.config, p.extra_pes)]
-            )
-        return [results[spec.name] for spec in specs]
+        """Sweep several benchmarks (the Fig. 7 grid).
+
+        .. deprecated:: use ``Session.sweep`` / ``Session.submit(SweepJob)``.
+        """
+        warn_deprecated("SweepExecutor.run_many", "Session.sweep(...)")
+        return self._run_many(specs, xs, options_overrides, graphs)
+
+    def _run_many(
+        self,
+        specs: Sequence[BenchmarkSpec],
+        xs: Sequence[int] = PAPER_XS,
+        options_overrides: Optional[dict] = None,
+        graphs: Optional[dict[str, Graph]] = None,
+    ) -> list[SweepResult]:
+        return run_grid(self._runtime, specs, xs, options_overrides, graphs)
 
     def run(
         self,
@@ -672,9 +639,13 @@ class SweepExecutor:
         options_overrides: Optional[dict] = None,
         graph: Optional[Graph] = None,
     ) -> SweepResult:
-        """Sweep one benchmark."""
+        """Sweep one benchmark.
+
+        .. deprecated:: use ``Session.sweep`` / ``Session.submit(SweepJob)``.
+        """
+        warn_deprecated("SweepExecutor.run", "Session.sweep(...)")
         graphs = None if graph is None else {spec.name: graph}
-        return self.run_many([spec], xs, options_overrides, graphs)[0]
+        return self._run_many([spec], xs, options_overrides, graphs)[0]
 
 
 def benchmark_sweep(
@@ -684,6 +655,7 @@ def benchmark_sweep(
     graph: Optional[Graph] = None,
     jobs: int = 1,
     use_cache: bool = True,
+    executor: Union[Executor, str, None] = None,
 ) -> SweepResult:
     """Run the paper's configuration grid for one benchmark.
 
@@ -703,6 +675,9 @@ def benchmark_sweep(
     use_cache:
         Reuse pipeline stages across config points (identical results,
         less work).
+    executor:
+        Explicit execution backend (name or instance); defaults to
+        ``process`` when ``jobs`` asks for parallelism, else ``inline``.
 
     Returns
     -------
@@ -711,8 +686,12 @@ def benchmark_sweep(
         configuration: ``xinf`` once (mapping-independent) and
         ``wdup``/``wdup+xinf`` per ``x``.
     """
-    executor = SweepExecutor(jobs=jobs, use_cache=use_cache)
-    return executor.run(spec, xs=xs, options_overrides=options_overrides, graph=graph)
+    engine = SweepExecutor(jobs=jobs, use_cache=use_cache, executor=executor)
+    try:
+        graphs = None if graph is None else {spec.name: graph}
+        return engine._run_many([spec], xs, options_overrides, graphs)[0]
+    finally:
+        engine.shutdown()
 
 
 def sweep_all(
@@ -722,9 +701,11 @@ def sweep_all(
     jobs: int = 1,
     use_cache: bool = True,
     graphs: Optional[dict[str, Graph]] = None,
+    executor: Union[Executor, str, None] = None,
 ) -> list[SweepResult]:
     """Sweep several benchmarks (the Fig. 7 grid)."""
-    executor = SweepExecutor(jobs=jobs, use_cache=use_cache)
-    return executor.run_many(
-        benchmarks, xs=xs, options_overrides=options_overrides, graphs=graphs
-    )
+    engine = SweepExecutor(jobs=jobs, use_cache=use_cache, executor=executor)
+    try:
+        return engine._run_many(benchmarks, xs=xs, options_overrides=options_overrides, graphs=graphs)
+    finally:
+        engine.shutdown()

@@ -76,6 +76,20 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--executor`` knob of ``sweep`` and ``explore``."""
+    from .exec import executor_names
+
+    parser.add_argument(
+        "--executor", default=None, choices=executor_names(), metavar="BACKEND",
+        help="execution backend for the fan-out: "
+             f"{', '.join(executor_names())} (plugins registered via "
+             "repro.exec.register_executor before main() runs are "
+             "accepted; default: process when --jobs asks for "
+             "parallelism, else inline)",
+    )
+
+
 def _package_version() -> str:
     """The installed distribution version (falling back to the module's).
 
@@ -177,8 +191,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=_jobs_arg, default=1, metavar="N",
         help="evaluate config points on N worker processes "
-             "(0 = one per CPU; default 1 = serial)",
+             "(thread/inline backends via --executor; 0 = one per CPU; "
+             "default 1 = serial)",
     )
+    _add_executor_flag(sweep)
     sweep.add_argument(
         "--no-cache", action="store_true",
         help="disable the compilation cache (recompile every stage "
@@ -232,8 +248,10 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--jobs", type=_jobs_arg, default=1, metavar="N",
         help="evaluate points on N worker processes "
-             "(0 = one per CPU; default 1 = serial)",
+             "(thread/inline backends via --executor; 0 = one per CPU; "
+             "default 1 = serial)",
     )
+    _add_executor_flag(explore)
     explore.add_argument(
         "--max-total-pes", type=int, default=None, metavar="P",
         help="chip budget: points needing more than P PEs are "
@@ -352,6 +370,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         list(args.models),
         xs=tuple(args.xs),
         jobs=None if args.jobs == 0 else args.jobs,
+        executor=args.executor,
         options_overrides=overrides,
         graphs=graphs,
     )
@@ -389,6 +408,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             resume=args.resume,
             seed=args.seed,
             jobs=None if args.jobs == 0 else args.jobs,
+            executor=args.executor,
             max_total_pes=args.max_total_pes,
         )
     except (ExploreError, StoreError, ValueError) as exc:

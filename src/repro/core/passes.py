@@ -172,6 +172,16 @@ def _pass_applies(p: Pass, ctx: CompilationContext) -> bool:
     return True if applies is None else bool(applies(ctx))
 
 
+def _guarded(
+    ctx: CompilationContext, event: str, callback: Callable, *args: Any
+) -> None:
+    """Run a hook callback, recording (not raising) its failures."""
+    try:
+        callback(*args)
+    except Exception as exc:
+        ctx.note(f"hook {event} raised {type(exc).__name__}: {exc}")
+
+
 # ---------------------------------------------------------------------------
 # mapping / scheduler registries
 # ---------------------------------------------------------------------------
@@ -485,6 +495,9 @@ class PassManager:
         ``hooks`` may carry optional ``on_pass_start(name, ctx)`` and
         ``on_pass_end(name, ctx, seconds)`` callables (missing
         attributes are ignored), e.g. :class:`repro.session.SessionHooks`.
+        A hook that raises is recorded as a context diagnostic and does
+        not abort the compilation — observation must never change
+        outcomes.
         """
         for p in self.passes:
             if not _pass_applies(p, ctx):
@@ -493,7 +506,7 @@ class PassManager:
             for hook in hooks:
                 start_cb = getattr(hook, "on_pass_start", None)
                 if start_cb is not None:
-                    start_cb(p.name, ctx)
+                    _guarded(ctx, "on_pass_start", start_cb, p.name, ctx)
             started = time.perf_counter()
             p.run(ctx)
             elapsed = time.perf_counter() - started
@@ -501,7 +514,7 @@ class PassManager:
             for hook in hooks:
                 end_cb = getattr(hook, "on_pass_end", None)
                 if end_cb is not None:
-                    end_cb(p.name, ctx, elapsed)
+                    _guarded(ctx, "on_pass_end", end_cb, p.name, ctx, elapsed)
         return ctx
 
     def compile(

@@ -1,0 +1,83 @@
+"""The :class:`JobFuture` handle returned by job submission.
+
+A thin, backend-agnostic wrapper over :class:`concurrent.futures.Future`
+that always resolves to a :class:`~repro.exec.jobs.JobResult`.  Inline
+execution wraps an already-completed future; thread and process
+backends wrap live pool futures — process futures additionally carry a
+``transform`` turning the worker's wire payload into the final result
+on the caller's side.
+"""
+
+from __future__ import annotations
+
+from concurrent import futures
+from typing import Any, Callable, Optional
+
+from .jobs import Job, JobResult
+
+__all__ = ["JobFuture"]
+
+
+class JobFuture:
+    """Handle on one submitted job.
+
+    Mirrors the :class:`concurrent.futures.Future` surface
+    (``done``/``cancel``/``result``/``exception``/
+    ``add_done_callback``) but ``result()`` returns the job's
+    :class:`~repro.exec.jobs.JobResult` envelope.
+    """
+
+    def __init__(
+        self,
+        raw: "futures.Future[Any]",
+        *,
+        job: Optional[Job] = None,
+        transform: Optional[Callable[[Any], JobResult]] = None,
+    ) -> None:
+        self.raw = raw
+        self.job = job
+        self._transform = transform
+        self._result: Optional[JobResult] = None
+
+    @classmethod
+    def completed(cls, result: JobResult, *, job: Optional[Job] = None) -> "JobFuture":
+        """A future that already resolved to ``result``."""
+        raw: "futures.Future[Any]" = futures.Future()
+        raw.set_result(result)
+        return cls(raw, job=job)
+
+    @classmethod
+    def failed(cls, exc: BaseException, *, job: Optional[Job] = None) -> "JobFuture":
+        """A future that already failed with ``exc``."""
+        raw: "futures.Future[Any]" = futures.Future()
+        raw.set_exception(exc)
+        return cls(raw, job=job)
+
+    def done(self) -> bool:
+        """Whether the underlying work finished (or was cancelled)."""
+        return self.raw.done()
+
+    def running(self) -> bool:
+        """Whether the underlying work is currently executing."""
+        return self.raw.running()
+
+    def cancel(self) -> bool:
+        """Attempt to cancel; returns ``False`` once running/finished."""
+        return self.raw.cancel()
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        """Block for (at most ``timeout`` seconds) and return the result."""
+        if self._result is None:
+            payload = self.raw.result(timeout)
+            self._result = (
+                self._transform(payload) if self._transform is not None else payload
+            )
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The exception the underlying work raised, if any."""
+        return self.raw.exception(timeout)
+
+    def add_done_callback(self, fn: Callable[["JobFuture"], None]) -> None:
+        """Call ``fn(self)`` when the underlying work completes."""
+        self.raw.add_done_callback(lambda _raw: fn(self))

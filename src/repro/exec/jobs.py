@@ -1,0 +1,223 @@
+"""Typed job descriptions and the canonical result envelope.
+
+A *job* is a plain-data, picklable description of one unit of work the
+execution layer can run: compile a model, evaluate a configuration,
+sweep the paper's grid, or explore a design space.  Jobs carry no
+behaviour — execution lives in :mod:`repro.exec.runtime` — so the same
+job object can run inline, on a thread pool, or cross a process
+boundary unchanged.
+
+Every executed job produces one :class:`JobResult` envelope: the
+job-specific ``value`` plus the compilation context that produced it
+(per-pass timings, diagnostics, cache hit/miss deltas) and, when the
+runtime runs in capturing mode, a structured :class:`JobError` instead
+of a raised exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # imports for annotations only — keeps jobs import-light
+    from ..arch.config import ArchitectureConfig
+    from ..core.pipeline import ScheduleOptions
+    from ..explore.space import SearchSpace
+    from ..explore.store import RunStore
+    from ..ir.graph import Graph
+    from ..sim.energy import EnergyReport
+    from ..sim.metrics import Metrics
+
+__all__ = [
+    "CompileJob",
+    "EvaluateJob",
+    "Evaluation",
+    "ExploreJob",
+    "Job",
+    "JobError",
+    "JobResult",
+    "SweepJob",
+    "job_key",
+]
+
+#: A model reference: an in-memory graph, or a name.  Names resolve
+#: against the graphs provided to the runtime (e.g. a sweep's
+#: canonicalized benchmarks) and fall back to the model zoo.
+GraphRef = Union["Graph", str]
+
+
+@dataclass(frozen=True)
+class Job:
+    """Base of every job description (plain data, picklable)."""
+
+    kind: ClassVar[str] = "job"
+
+
+@dataclass(frozen=True)
+class CompileJob(Job):
+    """Compile one model into a :class:`~repro.core.pipeline.CompiledModel`.
+
+    ``graph`` is a graph object or a model-zoo name (built and
+    preprocessed on demand).  ``arch`` defaults to the submitting
+    session's architecture.  The result ``value`` is the
+    :class:`CompiledModel`.
+    """
+
+    kind: ClassVar[str] = "compile"
+
+    graph: GraphRef
+    options: Optional["ScheduleOptions"] = None
+    arch: Optional["ArchitectureConfig"] = None
+    assume_canonical: bool = False
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class EvaluateJob(Job):
+    """Compile and score one ``(graph, architecture, options)`` point.
+
+    The atomic unit the sweep and exploration engines fan out.  The
+    result ``value`` is an :class:`Evaluation` (latency metrics plus an
+    optional energy estimate); the compiled model itself is discarded,
+    which keeps cross-process result payloads small.
+    """
+
+    kind: ClassVar[str] = "evaluate"
+
+    graph: GraphRef
+    options: Optional["ScheduleOptions"] = None
+    arch: Optional["ArchitectureConfig"] = None
+    assume_canonical: bool = False
+    #: Skip the energy estimate (proxy evaluations want latency only).
+    want_energy: bool = True
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SweepJob(Job):
+    """The paper's configuration grid (Fig. 7) over one or more models.
+
+    Mapping a ``SweepJob`` through :meth:`repro.session.Session.map`
+    streams one :class:`JobResult` per grid cell, each valued with a
+    :class:`~repro.analysis.sweep.ConfigPoint` (the per-benchmark
+    baseline rows stream first); submitting it resolves to the
+    assembled ``list[SweepResult]`` exactly as
+    :meth:`~repro.session.Session.sweep` returns it.
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    benchmarks: Tuple[Union[str, Any], ...]
+    xs: Optional[Tuple[int, ...]] = None
+    options_overrides: Optional[Mapping[str, Any]] = None
+    graphs: Optional[Mapping[str, "Graph"]] = None
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExploreJob(Job):
+    """One multi-objective design-space exploration run.
+
+    Mirrors the keyword surface of
+    :meth:`repro.session.Session.explore`; the result ``value`` is an
+    :class:`~repro.explore.engine.ExplorationResult`.
+    """
+
+    kind: ClassVar[str] = "explore"
+
+    model: GraphRef
+    space: Optional["SearchSpace"] = None
+    objectives: Tuple[str, ...] = ("latency", "energy")
+    strategy: str = "random"
+    strategy_options: Optional[Mapping[str, Any]] = None
+    budget: int = 40
+    store: Union["RunStore", str, None] = None
+    resume: bool = True
+    seed: int = 0
+    max_total_pes: Optional[int] = None
+    warm_start: bool = True
+    key: Optional[str] = None
+
+
+#: Jobs that expand into sub-work driven by the runtime itself.
+COMPOSITE_KINDS = ("sweep", "explore")
+
+
+def job_key(job: Job, index: int = 0) -> str:
+    """The envelope key of ``job`` (explicit key, or a stable default)."""
+    explicit = getattr(job, "key", None)
+    if explicit is not None:
+        return str(explicit)
+    return f"{job.kind}-{index}"
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The scored outcome of one :class:`EvaluateJob`."""
+
+    metrics: "Metrics"
+    energy: Optional["EnergyReport"] = None
+
+    @property
+    def energy_uj(self) -> Optional[float]:
+        """Total estimated inference energy in microjoules."""
+        return None if self.energy is None else self.energy.total_uj
+
+
+@dataclass(frozen=True)
+class JobError:
+    """A captured job failure, picklable across process boundaries."""
+
+    kind: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The canonical envelope every executed job produces.
+
+    ``value`` is job-specific (compiled model, evaluation, config
+    point, exploration result); ``timings`` and ``diagnostics`` come
+    from the :class:`~repro.core.passes.CompilationContext` that
+    produced it, and ``cache_hits``/``cache_misses`` are the
+    compilation-cache counter deltas observed around this job.  The
+    deltas are exact on the ``inline`` and ``process`` backends; on
+    the ``thread`` backend concurrent jobs share one cache, so a
+    job's delta may include a neighbour's traffic (values and
+    ``value`` itself are unaffected).  When the runtime runs in
+    capturing mode a failed job yields ``error`` set and ``value``
+    ``None`` instead of raising.
+    """
+
+    key: str
+    value: Any = None
+    timings: Mapping[str, float] = field(default_factory=dict)
+    diagnostics: Tuple[str, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    error: Optional[JobError] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job completed without error."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, raising :class:`JobFailedError` on captured errors."""
+        if self.error is not None:
+            raise JobFailedError(self.key, self.error)
+        return self.value
+
+
+class JobFailedError(RuntimeError):
+    """Raised by :meth:`JobResult.unwrap` on a captured job failure."""
+
+    def __init__(self, key: str, error: JobError) -> None:
+        detail = f"\n{error.traceback}" if error.traceback else ""
+        super().__init__(f"job {key!r} failed with {error}{detail}")
+        self.key = key
+        self.error = error

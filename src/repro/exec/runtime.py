@@ -1,0 +1,558 @@
+"""Job execution: one engine behind every fan-out path.
+
+:func:`execute_job` runs a single atomic job (compile / evaluate) and
+wraps the outcome in the canonical :class:`~repro.exec.jobs.JobResult`
+envelope; :class:`JobRuntime` drives batches of jobs through a
+pluggable :class:`~repro.exec.executors.Executor` with the semantics
+the sweep and exploration engines rely on:
+
+* named graphs resolve driver-side for in-process backends and ship
+  once through the pool initializer for the ``process`` backend;
+* one compilation cache per graph name (or one shared cache), with
+  per-process clones behind the process boundary;
+* pool failures — at construction, submit, or result time — degrade
+  to inline execution with a ``RuntimeWarning``, producing identical
+  results;
+* custom pass managers and pass-level hooks cannot cross a process
+  boundary, so a ``process`` backend combined with either runs inline
+  with a warning (the ``thread`` and ``inline`` backends share memory
+  and keep both working).
+
+Results stream back as an iterator, in submission order
+(``ordered=True``) or completion order.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+import warnings
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..arch.config import ArchitectureConfig
+from ..core.cache import CompilationCache
+from ..ir.graph import Graph
+from .executors import Executor, ExecutorUnavailable, make_executor
+from .futures import JobFuture
+from .jobs import (
+    CompileJob,
+    EvaluateJob,
+    Evaluation,
+    Job,
+    JobError,
+    JobResult,
+    job_key,
+)
+from .worker import DIRECT, run_job
+
+__all__ = [
+    "JobRuntime",
+    "execute_job",
+    "reset_deprecation_warnings",
+    "warn_deprecated",
+]
+
+#: Hook attributes that must run in the compiling interpreter.
+_PASS_EVENTS = (
+    "on_pass_start",
+    "on_pass_end",
+    "on_compile_start",
+    "on_compile_end",
+)
+
+
+def _has_pass_hooks(hooks: Sequence[Any]) -> bool:
+    """Whether any hook observes compilation itself (not just jobs)."""
+    return any(
+        getattr(hook, event, None) is not None
+        for hook in hooks
+        for event in _PASS_EVENTS
+    )
+
+
+# ---------------------------------------------------------------------------
+# single-job execution (runs driver-side and inside process workers)
+# ---------------------------------------------------------------------------
+
+
+def execute_job(
+    job: Job,
+    cache: Optional[CompilationCache] = None,
+    pass_manager: Any = None,
+    hooks: Sequence[Any] = (),
+    capture: bool = True,
+) -> JobResult:
+    """Run one atomic job and wrap the outcome in a :class:`JobResult`.
+
+    With ``capture`` (the default) any exception the job raises is
+    recorded as a :class:`~repro.exec.jobs.JobError` on the envelope;
+    without it, exceptions propagate — the sweep and exploration
+    drivers run uncaptured so their historical error behaviour is
+    preserved.
+    """
+    key = job_key(job)
+    try:
+        value, timings, diagnostics, hits, misses = _run_atomic(
+            job, cache, pass_manager, hooks
+        )
+        return JobResult(
+            key=key,
+            value=value,
+            timings=timings,
+            diagnostics=tuple(diagnostics),
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+    except Exception as exc:
+        if not capture:
+            raise
+        return JobResult(
+            key=key,
+            error=JobError(
+                kind=type(exc).__name__,
+                message=str(exc),
+                traceback=_traceback.format_exc(),
+            ),
+        )
+
+
+def _run_atomic(
+    job: Job,
+    cache: Optional[CompilationCache],
+    pass_manager: Any,
+    hooks: Sequence[Any],
+) -> tuple[Any, dict[str, float], list[str], int, int]:
+    from ..session import Session  # runtime import: session imports this module
+
+    if not isinstance(job, (CompileJob, EvaluateJob)):
+        raise TypeError(f"cannot execute job of kind {job.kind!r} atomically")
+    graph = job.graph
+    assume_canonical = job.assume_canonical
+    if isinstance(graph, str):
+        from ..models.zoo import build
+
+        graph = build(graph)
+        assume_canonical = False
+    if job.arch is None:
+        raise ValueError(
+            f"job {job_key(job)!r} names no architecture; submit it through "
+            "a Session (which supplies its own) or set job.arch"
+        )
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    session = Session(
+        job.arch,
+        cache=cache if cache is not None else False,
+        hooks=hooks,
+        pass_manager=pass_manager,
+    )
+    compiled = session.compile(graph, job.options, assume_canonical=assume_canonical)
+    value: Any = compiled
+    if isinstance(job, EvaluateJob):
+        energy = None
+        if job.want_energy:
+            from ..sim.energy import estimate_energy
+
+            energy = estimate_energy(compiled)
+        value = Evaluation(metrics=compiled.evaluate(), energy=energy)
+    hits = max(0, (cache.hits if cache is not None else 0) - hits0)
+    misses = max(0, (cache.misses if cache is not None else 0) - misses0)
+    return value, dict(compiled.timings), list(compiled.diagnostics), hits, misses
+
+
+# ---------------------------------------------------------------------------
+# runtime
+# ---------------------------------------------------------------------------
+
+#: A prepared batch entry: (envelope key, graph name or None, job).
+_Prepared = tuple[str, Optional[str], Job]
+
+
+class JobRuntime:
+    """Drives atomic jobs through an executor with caching + fallback.
+
+    Parameters
+    ----------
+    executor:
+        Backend name, instance, or ``None``.  ``None`` resolves from
+        ``jobs``: ``process`` when parallelism was requested, else
+        ``inline``.  Instances are treated as externally owned —
+        :meth:`shutdown` leaves them running.
+    jobs:
+        Worker-count hint for backends resolved from a name
+        (``None`` = one per CPU).
+    use_cache / cache:
+        Compilation-cache policy: disabled, one shared cache, or (the
+        default) one private cache per graph name.  Process workers
+        always hold per-process caches.
+    pass_manager / hooks:
+        Applied to every compiled job.  Both work on the ``inline``
+        and ``thread`` backends; on ``process`` they force inline
+        execution with a ``RuntimeWarning``.
+    arch:
+        Default architecture stamped onto jobs that carry none
+        (a submitting session's own architecture).
+    serial_note:
+        Tail of fallback warnings, e.g. ``"sweeping serially"`` —
+        existing tooling greps these messages.
+    """
+
+    def __init__(
+        self,
+        executor: Union[Executor, str, None] = None,
+        *,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        cache: Optional[CompilationCache] = None,
+        pass_manager: Any = None,
+        hooks: Sequence[Any] = (),
+        arch: Optional[ArchitectureConfig] = None,
+        serial_note: str = "running serially",
+    ) -> None:
+        self.executor: Executor = make_executor(executor, jobs=jobs)
+        #: Instances passed in are externally owned and never shut down.
+        self.owns_executor = executor is None or isinstance(executor, str)
+        self.use_cache = use_cache
+        self._shared_cache = cache
+        self._caches: dict[str, CompilationCache] = {}
+        self.pass_manager = pass_manager
+        self.hooks: tuple[Any, ...] = tuple(hooks)
+        self.arch = arch
+        self.serial_note = serial_note
+        # Stable names for embedded graphs (by identity), so repeated
+        # batches/submissions over the same graph reuse one shipped
+        # payload entry and the live process pool.
+        self._auto_graphs: list[tuple[Graph, str]] = []
+        self._auto_counter = 0
+
+    # -- caches --------------------------------------------------------
+
+    def cache_for(self, name: Optional[str] = None) -> Optional[CompilationCache]:
+        """The driver-side compilation cache of one graph name."""
+        if not self.use_cache:
+            return None
+        if self._shared_cache is not None:
+            return self._shared_cache
+        return self._caches.setdefault(name or DIRECT, CompilationCache())
+
+    # -- preparation ---------------------------------------------------
+
+    def _prepare(
+        self,
+        jobs: Sequence[Job],
+        graphs: Optional[Mapping[str, Graph]],
+    ) -> list[_Prepared]:
+        """Assign keys and default architectures; classify graph refs.
+
+        String graphs matching a provided named graph resolve through
+        the runtime (driver-side, or the worker payload behind a
+        process boundary); any other string is a zoo model name that
+        :func:`execute_job` builds inside the error-capture boundary.
+        """
+        prepared: list[_Prepared] = []
+        seen: set[str] = set()
+        for index, job in enumerate(jobs):
+            if not isinstance(job, (CompileJob, EvaluateJob)):
+                raise TypeError(
+                    f"JobRuntime executes atomic jobs; got {job.kind!r} "
+                    "(composite jobs run through Session.map/submit)"
+                )
+            key = job_key(job, index)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate job key {key!r}: keys must be unique "
+                    "within a batch"
+                )
+            seen.add(key)
+            changes: dict[str, Any] = {}
+            if job.key is None:
+                changes["key"] = key
+            if job.arch is None and self.arch is not None:
+                changes["arch"] = self.arch
+            name: Optional[str] = None
+            if isinstance(job.graph, str) and graphs is not None and job.graph in graphs:
+                name = job.graph
+            if changes:
+                job = replace(job, **changes)
+            prepared.append((key, name, job))
+        return prepared
+
+    def _resolved(
+        self, entry: _Prepared, graphs: Optional[Mapping[str, Graph]]
+    ) -> Job:
+        """The job with any graph name replaced by the graph itself."""
+        _key, name, job = entry
+        if name is not None:
+            assert graphs is not None
+            return replace(job, graph=graphs[name])  # type: ignore[type-var]
+        return job
+
+    def _execute_local(
+        self, entry: _Prepared, graphs: Optional[Mapping[str, Graph]], capture: bool
+    ) -> JobResult:
+        _key, name, _job = entry
+        return execute_job(
+            self._resolved(entry, graphs),
+            self.cache_for(name),
+            self.pass_manager,
+            self.hooks,
+            capture,
+        )
+
+    def _blocked_from_processes(self) -> bool:
+        return self.executor.crosses_process and (
+            self.pass_manager is not None or _has_pass_hooks(self.hooks)
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        job: Job,
+        *,
+        graphs: Optional[Mapping[str, Graph]] = None,
+        capture: bool = True,
+    ) -> JobFuture:
+        """Schedule one atomic job; returns a :class:`JobFuture`."""
+        (entry,) = self._prepare([job], graphs)
+        executor = self.executor
+        if executor.crosses_process:
+            if self._blocked_from_processes():
+                warnings.warn(
+                    "custom pass manager/hooks cannot cross the process "
+                    f"boundary; {self.serial_note}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                try:
+                    (wire,), shipped = self._ship_embedded([entry], graphs)
+                    self._prepare_pool([wire], shipped)
+                    return executor.submit(run_job, wire[2], capture)
+                except ExecutorUnavailable as exc:
+                    warnings.warn(
+                        f"process pool unavailable ({exc}); {self.serial_note}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            return JobFuture.completed(self._execute_local(entry, graphs, capture))
+        if executor.parallel:
+            _key, name, _job = entry
+            return executor.submit(
+                execute_job,
+                self._resolved(entry, graphs),
+                self.cache_for(name),
+                self.pass_manager,
+                self.hooks,
+                capture,
+            )
+        return JobFuture.completed(self._execute_local(entry, graphs, capture))
+
+    # -- batched streaming ---------------------------------------------
+
+    def map_jobs(
+        self,
+        jobs: Iterable[Job],
+        *,
+        graphs: Optional[Mapping[str, Graph]] = None,
+        ordered: bool = True,
+        capture: bool = True,
+    ) -> Iterator[JobResult]:
+        """Run a batch of atomic jobs, streaming result envelopes.
+
+        ``ordered`` yields in submission order; otherwise results
+        stream in completion order — job values are identical either
+        way (cache-delta bookkeeping on the thread backend is
+        best-effort, see :class:`~repro.exec.jobs.JobResult`).
+        """
+        prepared = self._prepare(list(jobs), graphs)
+        pending: Sequence[_Prepared] = prepared
+        if self.executor.parallel and len(pending) > 1:
+            if self._blocked_from_processes():
+                warnings.warn(
+                    "custom pass manager/hooks cannot cross the process "
+                    f"boundary; {self.serial_note}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                if self.executor.crosses_process:
+                    pending, graphs = self._ship_embedded(pending, graphs)
+                leftover = yield from self._pooled(pending, graphs, ordered, capture)
+                if leftover is None:
+                    return
+                pending = leftover
+        for entry in pending:
+            yield self._execute_local(entry, graphs, capture)
+
+    def _ship_embedded(
+        self,
+        pending: Sequence[_Prepared],
+        graphs: Optional[Mapping[str, Graph]],
+    ) -> tuple[list[_Prepared], dict[str, Graph]]:
+        """Name each distinct embedded graph so it ships to workers once.
+
+        Jobs carrying the same in-memory :class:`Graph` object would
+        otherwise pickle it once *per job* across the process
+        boundary; naming by identity routes them through the
+        ship-once initializer payload (and one per-process worker
+        cache per graph).  Names are assigned in first-use order, so
+        repeated batches over the same graphs re-produce the same
+        payload and the live pool is reused.
+        """
+        extended: dict[str, Graph] = dict(graphs or {})
+        shipped: list[_Prepared] = []
+        for key, name, job in pending:
+            graph = getattr(job, "graph", None)
+            if name is None and isinstance(graph, Graph):
+                name = self._auto_name(graph, extended)
+                extended[name] = graph
+                job = replace(job, graph=name)  # type: ignore[type-var]
+            shipped.append((key, name, job))
+        return shipped, extended
+
+    def _auto_name(self, graph: Graph, taken: Mapping[str, Graph]) -> str:
+        """The runtime-stable shipping name of one embedded graph."""
+        for candidate, name in self._auto_graphs:
+            if candidate is graph:
+                return name
+        name = f"__graph{self._auto_counter}__"
+        while name in taken:
+            self._auto_counter += 1
+            name = f"__graph{self._auto_counter}__"
+        self._auto_counter += 1
+        self._auto_graphs.append((graph, name))
+        return name
+
+    def _prepare_pool(
+        self,
+        pending: Sequence[_Prepared],
+        graphs: Optional[Mapping[str, Graph]],
+    ) -> None:
+        """Ship the named graphs referenced by ``pending`` to workers."""
+        prepare = getattr(self.executor, "prepare", None)
+        if prepare is None:
+            return
+        referenced = {name for _key, name, _job in pending if name is not None}
+        assert graphs is not None or not referenced
+        payload = {name: graphs[name] for name in referenced} if graphs else {}
+        prepare(payload, self.use_cache)
+
+    def _pooled(
+        self,
+        pending: Sequence[_Prepared],
+        graphs: Optional[Mapping[str, Graph]],
+        ordered: bool,
+        capture: bool,
+    ) -> Any:
+        """Fan ``pending`` out over the pooled executor.
+
+        Yields result envelopes as they arrive.  On pool failure
+        (construction, submit, or result time) the generator *returns*
+        the entries whose results were never produced — the caller
+        finishes them inline; a clean run returns ``None``.  Consumer
+        abandonment (GeneratorExit) or interrupts cancel queued work
+        and propagate.
+        """
+        executor = self.executor
+        completed: set[str] = set()
+        handles: list[tuple[_Prepared, JobFuture]] = []
+        try:
+            if executor.crosses_process:
+                self._prepare_pool(pending, graphs)
+            for entry in pending:
+                key, name, job = entry
+                if executor.crosses_process:
+                    handle = executor.submit(run_job, job, capture)
+                else:
+                    handle = executor.submit(
+                        execute_job,
+                        self._resolved(entry, graphs),
+                        self.cache_for(name),
+                        self.pass_manager,
+                        self.hooks,
+                        capture,
+                    )
+                handles.append((entry, handle))
+            if ordered:
+                for (key, _name, _job), handle in handles:
+                    result: JobResult = handle.raw.result()
+                    completed.add(key)
+                    yield result
+            else:
+                raws = {
+                    handle.raw: entry[0] for entry, handle in handles
+                }
+                for done in futures.as_completed(raws):
+                    result = done.result()
+                    completed.add(raws[done])
+                    yield result
+        except ExecutorUnavailable as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc}); {self.serial_note}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return [entry for entry in pending if entry[0] not in completed]
+        except (OSError, BrokenProcessPool) as exc:
+            self._abort(handles)
+            warnings.warn(
+                f"process pool failed ({exc}); {self.serial_note}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return [entry for entry in pending if entry[0] not in completed]
+        except BaseException:
+            # Consumer abandoned the stream (GeneratorExit) or
+            # interrupted — don't block on the unfinished work.
+            self._abort(handles)
+            raise
+        return None
+
+    def _abort(self, handles: Sequence[tuple[_Prepared, JobFuture]]) -> None:
+        """Cancel outstanding work; reset process pools entirely."""
+        for _entry, handle in handles:
+            handle.cancel()
+        if self.executor.crosses_process:
+            reset = getattr(self.executor, "reset", None)
+            if reset is not None:
+                reset()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop pooled state (process pools); backends rebuild lazily."""
+        reset = getattr(self.executor, "reset", None)
+        if reset is not None:
+            reset()
+
+    def shutdown(self, force: bool = False) -> None:
+        """Release the executor (owned backends only, unless forced)."""
+        if self.owns_executor or force:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# deprecation bookkeeping (shared by the legacy sweep/explore shims)
+# ---------------------------------------------------------------------------
+
+_DEPRECATION_SEEN: set[str] = set()
+
+
+def warn_deprecated(entry: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per entry point per process."""
+    if entry in _DEPRECATION_SEEN:
+        return
+    _DEPRECATION_SEEN.add(entry)
+    warnings.warn(
+        f"{entry} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecations already fired (test helper)."""
+    _DEPRECATION_SEEN.clear()

@@ -1,0 +1,73 @@
+"""Worker-process bootstrap for the ``process`` executor.
+
+Absorbs the machinery historically private to ``repro.analysis.sweep``:
+workers receive the named canonical graphs once (serialized, via the
+pool initializer), rebuild them lazily on first use, and keep one
+:class:`~repro.core.cache.CompilationCache` per graph name per
+process, so stage reuse survives the process boundary.  The only
+module-level entry point pools submit is :func:`run_job`, which
+resolves a shipped job against this state and executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from ..core.cache import CompilationCache
+from ..ir.graph import Graph
+from .jobs import Job, JobResult
+
+__all__ = ["init_worker", "run_job", "worker_cache", "worker_graph"]
+
+#: Name under which jobs carrying an in-memory graph share one
+#: per-process cache (cache keys are graph-fingerprint-scoped, so
+#: sharing across models is safe).
+DIRECT = "__direct__"
+
+_STATE: Dict[str, Any] = {}
+
+
+def init_worker(payload: Dict[str, str], use_cache: bool) -> None:
+    """Pool initializer: stash serialized graphs and the cache policy."""
+    _STATE["payload"] = payload
+    _STATE["graphs"] = {}
+    _STATE["caches"] = {} if use_cache else None
+
+
+def worker_graph(name: str) -> Graph:
+    """The shipped graph called ``name``, rebuilt lazily per process."""
+    graphs: Dict[str, Graph] = _STATE["graphs"]
+    if name not in graphs:
+        from ..ir import serialize
+
+        graphs[name] = serialize.loads(_STATE["payload"][name])
+    return graphs[name]
+
+
+def worker_cache(name: str) -> Optional[CompilationCache]:
+    """This process's compilation cache for ``name`` (None if disabled)."""
+    caches: Optional[Dict[str, CompilationCache]] = _STATE.get("caches")
+    if caches is None:
+        return None
+    return caches.setdefault(name, CompilationCache())
+
+
+def run_job(job: Job, capture: bool) -> JobResult:
+    """Execute one shipped job against this worker's state.
+
+    String graphs matching the shipped payload resolve here (keeping
+    the per-name worker cache warm); any other string is a zoo model
+    name that :func:`~repro.exec.runtime.execute_job` builds inside
+    its error-capture boundary.
+    """
+    from .runtime import execute_job
+
+    graph = getattr(job, "graph", None)
+    if isinstance(graph, str) and graph in _STATE.get("payload", {}):
+        resolved = replace(job, graph=worker_graph(graph))  # type: ignore[type-var]
+        cache = worker_cache(graph)
+    else:
+        resolved = job
+        cache = worker_cache(DIRECT)
+    return execute_job(resolved, cache=cache, capture=capture)

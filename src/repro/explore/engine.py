@@ -27,10 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
-from ..analysis.sweep import SweepExecutor
 from ..arch.config import ArchitectureConfig
 from ..core.cache import CompilationCache
 from ..core.pipeline import preprocess_stage
+from ..exec.executors import Executor
+from ..exec.runtime import JobRuntime, warn_deprecated
 from ..ir.graph import Graph
 from .evaluator import FULL, PROXY, EvaluationResult, PointEvaluator
 from .objectives import resolve_objectives
@@ -149,6 +150,19 @@ class Explorer:
         known-good corners of the space even under tiny budgets or
         unlucky seeds; strategies observe them like their own
         proposals (the evolutionary archive seeds from them).
+    executor:
+        Execution backend for point evaluation (name or
+        :class:`~repro.exec.Executor` instance); defaults to
+        ``process`` when ``jobs`` asks for parallelism, else
+        ``inline``.
+
+    .. deprecated::
+        Constructing an :class:`Explorer` directly is deprecated (one
+        :class:`DeprecationWarning` per process); use
+        :meth:`repro.session.Session.explore` or submit an
+        :class:`~repro.exec.jobs.ExploreJob` through
+        :meth:`~repro.session.Session.submit` — both run this engine
+        and return identical results.
     """
 
     def __init__(
@@ -168,7 +182,13 @@ class Explorer:
         cache: Optional[CompilationCache] = None,
         max_total_pes: Optional[int] = None,
         warm_start: bool = True,
+        executor: Union[Executor, str, None] = None,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            warn_deprecated(
+                "Explorer", "Session.explore(...) or Session.submit(ExploreJob(...))"
+            )
         if budget < 1:
             raise ExploreError(f"budget must be >= 1, got {budget}")
         self.space = space if space is not None else default_space()
@@ -191,7 +211,13 @@ class Explorer:
                 else self.space.max_total_pes
             ),
         )
-        self.executor = SweepExecutor(jobs=jobs, use_cache=True, cache=self.cache)
+        self._runtime = JobRuntime(
+            executor,
+            jobs=jobs,
+            use_cache=True,
+            cache=self.cache,
+            serial_note="evaluating serially",
+        )
         if isinstance(store, RunStore):
             if store.graph_fingerprint != self.evaluator.graph_fingerprint:
                 raise StoreError(
@@ -254,7 +280,8 @@ class Explorer:
         finally:
             # The journal is already durable per append; releasing the
             # worker pool and file handle here keeps interrupts clean.
-            self.executor.close_pool()
+            # (Externally-owned executor instances are left running.)
+            self._runtime.shutdown()
             self.store.close()
         return ExplorationResult(
             strategy=self.strategy_name,
@@ -358,13 +385,17 @@ class Explorer:
 
         evaluations = {}
         if to_compile:
-            tasks = [
-                evaluator.task_for(point, fidelity)
+            jobs = [
+                evaluator.task_for(point, fidelity).to_job("explore")
                 for point, fidelity in to_compile.values()
             ]
-            evaluations = self.executor.run_tasks(
-                evaluator.canonical, tasks, name="explore"
-            )
+            for outcome in self._runtime.map_jobs(
+                jobs,
+                graphs={"explore": evaluator.canonical},
+                ordered=False,
+                capture=False,
+            ):
+                evaluations[outcome.key] = outcome.value
 
         batch: list[EvaluationResult] = []
         emitted: set[str] = set()

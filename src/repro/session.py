@@ -1,22 +1,39 @@
 """The public compilation API: :class:`Session`.
 
-A session binds a target architecture to a compilation cache and a
-pass manager, and exposes the four verbs users actually need::
+A session binds a target architecture to a compilation cache, a pass
+manager, and an execution backend, and exposes the verbs users
+actually need::
 
     from repro import Session, ScheduleOptions, paper_case_study
+    from repro.exec import CompileJob, EvaluateJob, SweepJob
 
-    session = Session(paper_case_study(133))
+    session = Session(paper_case_study(133), executor="process")
     compiled = session.compile(model)            # CompiledModel
     metrics = session.evaluate(compiled)         # Eq. 2/3 metrics
     results = session.sweep(["tinyyolov3"])      # the Fig. 7 grid
     explored = session.explore("tinyyolov3")     # Pareto search (DSE)
 
+    future = session.submit(CompileJob(model))   # JobFuture
+    for result in session.map([EvaluateJob(model, opts) for opts in grid]):
+        ...                                      # JobResult stream
+
+Everything above runs on one execution layer (:mod:`repro.exec`):
+work is described by typed jobs (:class:`~repro.exec.jobs.CompileJob`,
+:class:`~repro.exec.jobs.EvaluateJob`,
+:class:`~repro.exec.jobs.SweepJob`,
+:class:`~repro.exec.jobs.ExploreJob`), every executed job yields one
+:class:`~repro.exec.jobs.JobResult` envelope, and the ``executor``
+knob picks the backend — ``inline`` (default), ``thread``,
+``process``, or any backend registered through
+:func:`repro.exec.register_executor`.
+
 Repeated compiles through one session share stage results via the
 session cache (preprocessing, tiling, duplication rewrites...), and
-hooks observe every pass as it runs.  ``compile`` accepts raw or
-canonical graphs; ``evaluate`` accepts a graph or an existing
-:class:`~repro.core.pipeline.CompiledModel`; ``sweep`` accepts
-benchmark specs or names.
+hooks observe every pass and job as it runs; a hook that raises is
+recorded as a diagnostic and never aborts the work.  ``compile``
+accepts raw or canonical graphs; ``evaluate`` accepts a graph or an
+existing :class:`~repro.core.pipeline.CompiledModel`; ``sweep``
+accepts benchmark specs or names.
 
 Compilation itself runs in the :class:`repro.core.passes.PassManager`;
 the legacy free function :func:`repro.core.pipeline.compile_model` is
@@ -25,13 +42,35 @@ a shim over the same machinery.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:  # heavy subsystems: imported for annotations only
+    from .analysis.sweep import SweepResult
+    from .explore.engine import ExplorationResult
+    from .explore.space import SearchSpace
+    from .explore.store import RunStore
+    from .models.zoo import BenchmarkSpec
+    from .sim.metrics import Metrics
 
 from .arch.config import ArchitectureConfig
 from .core.cache import CompilationCache
 from .core.passes import CompilationContext, PassManager, default_pass_manager
 from .core.pipeline import CompiledModel, ScheduleOptions
+from .exec.executors import Executor
+from .exec.futures import JobFuture
+from .exec.jobs import ExploreJob, Job, JobError, JobResult, SweepJob, job_key
+from .exec.runtime import JobRuntime
 from .ir.graph import Graph
 
 __all__ = ["Session", "SessionHooks"]
@@ -39,18 +78,30 @@ __all__ = ["Session", "SessionHooks"]
 
 @dataclass
 class SessionHooks:
-    """Optional observation points for a session's compilations.
+    """Optional observation points for a session's work.
 
     Any subset of the callbacks may be set; unset ones are skipped.
     ``on_pass_start(name, ctx)`` / ``on_pass_end(name, ctx, seconds)``
     fire around every executed pass, ``on_compile_start(ctx)`` /
-    ``on_compile_end(compiled)`` around each whole compilation.
+    ``on_compile_end(compiled)`` around each whole compilation, and
+    ``on_job_submit(job)`` / ``on_job_done(result)`` around every job
+    that flows through :meth:`Session.submit` / :meth:`Session.map`
+    (composite jobs fire ``on_job_done`` once per streamed result).
+
+    Exceptions raised inside a hook are caught and recorded as a
+    diagnostic on the context/result being observed — user telemetry
+    must never abort a compile.  Pass- and compile-level hooks cannot
+    cross a process boundary (the ``process`` executor runs such
+    sessions inline with a warning); job-level hooks always fire
+    driver-side and work with every backend.
     """
 
     on_pass_start: Optional[Callable[[str, CompilationContext], None]] = None
     on_pass_end: Optional[Callable[[str, CompilationContext, float], None]] = None
     on_compile_start: Optional[Callable[[CompilationContext], None]] = None
     on_compile_end: Optional[Callable[[CompiledModel], None]] = None
+    on_job_submit: Optional[Callable[[Job], None]] = None
+    on_job_done: Optional[Callable[[JobResult], None]] = None
 
 
 class Session:
@@ -59,9 +110,10 @@ class Session:
     Parameters
     ----------
     arch:
-        Target architecture of :meth:`compile`/:meth:`evaluate`.
-        (:meth:`sweep` derives per-point architectures from the paper's
-        ``PE_min + x`` rule and ignores this.)
+        Target architecture of :meth:`compile`/:meth:`evaluate` and
+        the default architecture of submitted jobs.  (:meth:`sweep`
+        derives per-point architectures from the paper's ``PE_min +
+        x`` rule and ignores this.)
     cache:
         ``True`` (default) creates a private
         :class:`~repro.core.cache.CompilationCache`; pass an existing
@@ -74,6 +126,13 @@ class Session:
     pass_manager:
         Custom :class:`~repro.core.passes.PassManager`; defaults to the
         standard pass order.
+    executor:
+        Execution backend for :meth:`submit`/:meth:`map` (and the
+        default backend of :meth:`sweep`/:meth:`explore`): a
+        registered name (``"inline"``, ``"thread"``, ``"process"``,
+        or a plugin), an :class:`~repro.exec.Executor` instance, or
+        ``None`` for inline execution.  Instances are externally
+        owned: :meth:`close` leaves them running.
     """
 
     def __init__(
@@ -83,6 +142,7 @@ class Session:
         cache: Union[CompilationCache, bool, None] = True,
         hooks: Union[Any, Sequence[Any], None] = None,
         pass_manager: Optional[PassManager] = None,
+        executor: Union[Executor, str, None] = None,
     ) -> None:
         self.arch = arch
         if cache is True:
@@ -99,10 +159,47 @@ class Session:
             self.hooks = (hooks,)
         self._custom_pass_manager = pass_manager is not None
         self.pass_manager = pass_manager if pass_manager is not None else default_pass_manager()
+        self._executor_spec = executor
+        self._runtime: Optional[JobRuntime] = None
+        self._job_counter = 0
 
     def __repr__(self) -> str:
         cached = "cached" if self.cache is not None else "uncached"
-        return f"Session({self.arch.summary()}, {cached})"
+        name = getattr(self.executor, "name", None) or "inline"
+        return f"Session({self.arch.summary()}, {cached}, executor={name})"
+
+    # -- execution plumbing --------------------------------------------
+
+    @property
+    def executor(self) -> Executor:
+        """The resolved execution backend of this session."""
+        return self.runtime.executor
+
+    @property
+    def runtime(self) -> JobRuntime:
+        """The lazily-created job runtime behind submit/map/sweep."""
+        if self._runtime is None:
+            self._runtime = JobRuntime(
+                self._executor_spec if self._executor_spec is not None else "inline",
+                use_cache=self.cache is not None,
+                cache=self.cache,
+                pass_manager=self.pass_manager if self._custom_pass_manager else None,
+                hooks=self.hooks,
+                arch=self.arch,
+            )
+        return self._runtime
+
+    def close(self) -> None:
+        """Release pooled executor resources (owned backends only)."""
+        if self._runtime is not None:
+            self._runtime.shutdown()
+            self._runtime = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- compile -------------------------------------------------------
 
@@ -127,9 +224,9 @@ class Session:
             cache=self.cache,
             assume_canonical=assume_canonical,
         )
-        self._fire("on_compile_start", ctx)
+        self._fire("on_compile_start", ctx, sink=ctx.diagnostics)
         compiled = self.pass_manager.run(ctx, self.hooks).to_compiled()
-        self._fire("on_compile_end", compiled)
+        self._fire("on_compile_end", compiled, sink=compiled.diagnostics)
         return compiled
 
     # -- evaluate ------------------------------------------------------
@@ -140,7 +237,7 @@ class Session:
         options: Optional[ScheduleOptions] = None,
         *,
         assume_canonical: bool = False,
-    ) -> "Metrics":  # noqa: F821 - forward ref to repro.sim
+    ) -> "Metrics":
         """Metrics of a compiled model (compiling a graph first).
 
         ``options`` is only consulted when ``model`` is a graph.
@@ -150,49 +247,236 @@ class Session:
         compiled = self.compile(model, options, assume_canonical=assume_canonical)
         return compiled.evaluate()
 
+    # -- jobs ----------------------------------------------------------
+
+    def submit(self, job: Job) -> JobFuture:
+        """Schedule one job on this session's executor.
+
+        Atomic jobs (:class:`~repro.exec.jobs.CompileJob`,
+        :class:`~repro.exec.jobs.EvaluateJob`) run asynchronously on
+        pooled backends; composite jobs
+        (:class:`~repro.exec.jobs.SweepJob`,
+        :class:`~repro.exec.jobs.ExploreJob`) drive their own fan-out
+        through the executor and resolve eagerly — the returned future
+        is already complete, valued with the assembled
+        ``list[SweepResult]`` / ``ExplorationResult``.
+
+        Jobs without an explicit ``arch`` compile for this session's
+        architecture; errors are captured on the
+        :class:`~repro.exec.jobs.JobResult` envelope rather than
+        raised (``result.unwrap()`` re-raises).
+        """
+        self._fire_job_submit(job)
+        if isinstance(job, (SweepJob, ExploreJob)):
+            result = self._guarded_composite(job)
+            self._fire("on_job_done", result, sink=None)
+            return JobFuture.completed(result, job=job)
+        future = self.runtime.submit(job)
+        future.job = job
+        future.add_done_callback(self._job_done_callback)
+        return future
+
+    def map(
+        self,
+        jobs: Union[Job, Iterable[Job]],
+        *,
+        ordered: bool = True,
+    ) -> Iterator[JobResult]:
+        """Run jobs through this session's executor, streaming results.
+
+        ``jobs`` is a single job or an iterable.  A batch of atomic
+        jobs fans out over the executor and streams one
+        :class:`~repro.exec.jobs.JobResult` per job — in submission
+        order (``ordered``, the default) or as completed.  A
+        :class:`~repro.exec.jobs.SweepJob` expands into its grid and
+        streams one result per config point (``value`` is the
+        :class:`~repro.analysis.sweep.ConfigPoint`; each benchmark's
+        baseline row streams first); an
+        :class:`~repro.exec.jobs.ExploreJob` yields a single result.
+        Mixed batches run strictly in order, each composite internally
+        parallel.  Per-job errors are captured on the envelope.
+        """
+        items = [jobs] if isinstance(jobs, Job) else list(jobs)
+        return self._map_stream(items, ordered)
+
+    def _map_stream(self, items: Sequence[Job], ordered: bool) -> Iterator[JobResult]:
+        composite = any(isinstance(job, (SweepJob, ExploreJob)) for job in items)
+        if not composite:
+            for job in items:
+                self._fire_job_submit(job)
+            for result in self.runtime.map_jobs(items, ordered=ordered, capture=True):
+                self._fire("on_job_done", result, sink=None)
+                yield result
+            return
+        for job in items:
+            self._fire_job_submit(job)
+            if isinstance(job, SweepJob):
+                yield from self._sweep_job_results(job, ordered)
+            elif isinstance(job, ExploreJob):
+                result = self._guarded_composite(job)
+                self._fire("on_job_done", result, sink=None)
+                yield result
+            else:
+                for result in self.runtime.map_jobs(
+                    [job], ordered=ordered, capture=True
+                ):
+                    self._fire("on_job_done", result, sink=None)
+                    yield result
+
+    def _sweep_job_results(self, job: SweepJob, ordered: bool) -> Iterator[JobResult]:
+        """Stream one sweep job's grid, capturing expansion failures.
+
+        Per-cell errors already arrive as envelopes (``capture=True``);
+        a failure of the expansion itself (unknown benchmark, baseline
+        compile error) becomes one final error envelope instead of
+        escaping the stream.
+        """
+        from .analysis.sweep import sweep_job_stream
+
+        key = self._composite_key(job)
+        try:
+            stream = sweep_job_stream(self.runtime, job, ordered=ordered, capture=True)
+        except Exception:
+            result = self._error_result(key)
+            self._fire("on_job_done", result, sink=None)
+            yield result
+            return
+        while True:
+            try:
+                result = next(stream)
+            except StopIteration:
+                return
+            except Exception:
+                result = self._error_result(key)
+                self._fire("on_job_done", result, sink=None)
+                yield result
+                return
+            self._fire("on_job_done", result, sink=None)
+            yield result
+
+    def _composite_key(self, job: Job) -> str:
+        self._job_counter += 1
+        return job_key(job, self._job_counter)
+
+    @staticmethod
+    def _error_result(key: str) -> JobResult:
+        import traceback
+
+        exc = sys.exc_info()[1]
+        assert exc is not None
+        return JobResult(
+            key=key,
+            error=JobError(
+                kind=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+            ),
+        )
+
+    def _guarded_composite(self, job: Union[SweepJob, ExploreJob]) -> JobResult:
+        """Run one composite job, capturing failures on the envelope."""
+        key = self._composite_key(job)
+        try:
+            if isinstance(job, SweepJob):
+                from .analysis.sweep import (
+                    PAPER_XS,
+                    assemble_sweep_results,
+                    resolve_benchmarks,
+                    sweep_job_stream,
+                )
+
+                specs = resolve_benchmarks(job.benchmarks)
+                xs = job.xs if job.xs is not None else PAPER_XS
+                stream = sweep_job_stream(
+                    self.runtime, job, ordered=False, capture=False
+                )
+                value: Any = assemble_sweep_results(
+                    specs, xs, (r.value for r in stream)
+                )
+            else:
+                value = self._explore_job(job)
+        except Exception:
+            return self._error_result(key)
+        return JobResult(key=key, value=value)
+
+    def _explore_job(self, job: ExploreJob) -> "ExplorationResult":
+        return self.explore(
+            job.model,
+            space=job.space,
+            objectives=job.objectives,
+            strategy=job.strategy,
+            strategy_options=dict(job.strategy_options or {}) or None,
+            budget=job.budget,
+            store=job.store,
+            resume=job.resume,
+            seed=job.seed,
+            max_total_pes=job.max_total_pes,
+            warm_start=job.warm_start,
+        )
+
     # -- sweep ---------------------------------------------------------
 
     def sweep(
         self,
-        benchmarks: Sequence[Union[str, "BenchmarkSpec"]],  # noqa: F821
+        benchmarks: Sequence[Union[str, "BenchmarkSpec"]],
         xs: Optional[Sequence[int]] = None,
         *,
         jobs: Optional[int] = 1,
+        executor: Union[Executor, str, None] = None,
         options_overrides: Optional[dict] = None,
         graphs: Optional[dict[str, Graph]] = None,
-    ) -> list["SweepResult"]:  # noqa: F821 - forward ref to repro.analysis
+    ) -> list["SweepResult"]:
         """Run the paper's configuration grid (Fig. 7) per benchmark.
 
         ``benchmarks`` mixes :class:`~repro.models.zoo.BenchmarkSpec`
         objects and benchmark names; ``xs`` defaults to the paper's
-        extra-PE values.  With ``jobs > 1`` config points fan out over
-        worker processes (each holding its own cache); the serial path
-        shares this session's cache, so repeated sweeps reuse stages.
-        The session's hooks and any custom pass manager apply to every
-        point — since neither can cross a process boundary, setting
-        them forces the sweep serial (with a ``RuntimeWarning`` when
-        ``jobs > 1`` was requested).
+        extra-PE values.  With ``jobs > 1`` (or ``executor=`` naming a
+        parallel backend) config points fan out over the chosen
+        executor; the serial path shares this session's cache, so
+        repeated sweeps reuse stages.  The session's pass/compile
+        hooks and any custom pass manager apply to every point — since
+        neither can cross a process boundary, the ``process`` backend
+        runs such sweeps serially (with a ``RuntimeWarning``); the
+        ``thread`` backend keeps both working in parallel.
         """
-        from .analysis.sweep import PAPER_XS, SweepExecutor
-        from .models.zoo import benchmark_by_name
+        from .analysis.sweep import PAPER_XS, resolve_benchmarks, run_grid
 
-        specs = [
-            benchmark_by_name(item) if isinstance(item, str) else item
-            for item in benchmarks
-        ]
-        executor = SweepExecutor(
+        specs = resolve_benchmarks(benchmarks)
+        runtime, transient = self._sweep_runtime(jobs, executor)
+        try:
+            return run_grid(
+                runtime,
+                specs,
+                xs=tuple(xs) if xs is not None else PAPER_XS,
+                options_overrides=options_overrides,
+                graphs=graphs,
+            )
+        finally:
+            if transient:
+                runtime.shutdown()
+
+    def _sweep_runtime(
+        self, jobs: Optional[int], executor: Union[Executor, str, None]
+    ) -> tuple[JobRuntime, bool]:
+        """The runtime a sweep/explore call should fan out through.
+
+        Per-call ``jobs``/``executor`` arguments create a transient
+        runtime (shut down after the call); the defaults reuse the
+        session's own runtime and its warm executor.
+        """
+        if executor is None and jobs == 1:
+            return self.runtime, False
+        runtime = JobRuntime(
+            executor,
             jobs=jobs,
             use_cache=self.cache is not None,
             cache=self.cache,
             pass_manager=self.pass_manager if self._custom_pass_manager else None,
             hooks=self.hooks,
+            arch=self.arch,
+            serial_note="sweeping serially",
         )
-        return executor.run_many(
-            specs,
-            xs=tuple(xs) if xs is not None else PAPER_XS,
-            options_overrides=options_overrides,
-            graphs=graphs,
-        )
+        return runtime, True
 
     # -- explore -------------------------------------------------------
 
@@ -200,17 +484,19 @@ class Session:
         self,
         model: Union[Graph, str],
         *,
-        space: Optional["SearchSpace"] = None,  # noqa: F821
+        space: Optional["SearchSpace"] = None,
         objectives: Sequence[str] = ("latency", "energy"),
         strategy: str = "random",
         strategy_options: Optional[dict] = None,
         budget: int = 40,
-        store: Union["RunStore", str, None] = None,  # noqa: F821
+        store: Union["RunStore", str, None] = None,
         resume: bool = True,
         seed: int = 0,
         jobs: Optional[int] = 1,
+        executor: Union[Executor, str, None] = None,
         max_total_pes: Optional[int] = None,
-    ) -> "ExplorationResult":  # noqa: F821 - forward ref to repro.explore
+        warm_start: bool = True,
+    ) -> "ExplorationResult":
         """Multi-objective design-space search around this session.
 
         ``model`` is a graph or a zoo model name.  The search space
@@ -223,13 +509,18 @@ class Session:
         reuse journalled points without recompiling (``resume``).
         This session's architecture serves as the template for
         explored architectures (crossbar timing, NoC, DRAM specs);
-        its cache is shared with the exploration, and ``jobs`` fans
-        evaluation out over worker processes.
+        its cache is shared with the exploration, and ``jobs`` /
+        ``executor`` fan evaluation out over the chosen backend.
         """
         from .explore.engine import Explorer
         from .models.zoo import build
 
         graph = build(model) if isinstance(model, str) else model
+        if executor is None and jobs == 1 and self._executor_spec is not None:
+            # Reuse the session's *resolved* backend (its real worker
+            # count, warm pools); the explorer treats instances as
+            # externally owned and leaves them running.
+            executor = self.executor
         explorer = Explorer(
             graph,
             base_arch=self.arch,
@@ -244,13 +535,37 @@ class Session:
             jobs=jobs,
             cache=self.cache,
             max_total_pes=max_total_pes,
+            warm_start=warm_start,
+            executor=executor,
+            _internal=True,
         )
         return explorer.run()
 
     # -- helpers -------------------------------------------------------
 
-    def _fire(self, event: str, payload: Any) -> None:
+    def _fire_job_submit(self, job: Job) -> None:
+        self._fire("on_job_submit", job, sink=None)
+
+    def _job_done_callback(self, future: JobFuture) -> None:
+        try:
+            result = future.result()
+        except Exception:
+            return  # pool-level failure; nothing to observe
+        self._fire("on_job_done", result, sink=None)
+
+    def _fire(self, event: str, payload: Any, sink: Optional[list] = None) -> None:
+        """Invoke one hook event on every hook, never letting it abort.
+
+        A hook that raises is recorded on ``sink`` (a diagnostics
+        list, when the payload carries one) and otherwise swallowed —
+        observation must not change compilation outcomes.
+        """
         for hook in self.hooks:
             callback = getattr(hook, event, None)
-            if callback is not None:
+            if callback is None:
+                continue
+            try:
                 callback(payload)
+            except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
+                if sink is not None:
+                    sink.append(f"hook {event} raised {type(exc).__name__}: {exc}")
