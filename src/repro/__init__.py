@@ -46,6 +46,10 @@ Subpackages
 ``repro.explore``
     Design-space exploration: search strategies, multi-objective
     Pareto frontiers, and resumable run stores.
+``repro.verify``
+    Unified static verifier: rule-based diagnostics over graphs,
+    architectures, placements, and schedules (``Session.verify``,
+    ``repro verify`` on the CLI), with a pluggable rule registry.
 """
 
 __version__ = "1.2.0"
@@ -75,6 +79,14 @@ from .frontend import QuantizationConfig, preprocess  # noqa: E402
 from .mapping import minimum_pe_requirement  # noqa: E402
 from .session import Session, SessionHooks  # noqa: E402
 from .sim import evaluate, simulate  # noqa: E402
+from .verify import (  # noqa: E402
+    Diagnostic,
+    Severity,
+    VerifyReport,
+    register_rule,
+    verify_compiled,
+    verify_graph,
+)
 
 __all__ = [
     "ArchitectureConfig",
@@ -82,6 +94,7 @@ __all__ = [
     "CompileJob",
     "CompiledModel",
     "CrossbarSpec",
+    "Diagnostic",
     "EvaluateJob",
     "Executor",
     "ExploreJob",
@@ -93,7 +106,9 @@ __all__ = [
     "Session",
     "SessionHooks",
     "SetGranularity",
+    "Severity",
     "SweepJob",
+    "VerifyReport",
     "__version__",
     "compile_model",
     "evaluate",
@@ -102,6 +117,9 @@ __all__ = [
     "preprocess",
     "register_executor",
     "register_mapping",
+    "register_rule",
     "register_scheduler",
     "simulate",
+    "verify_compiled",
+    "verify_graph",
 ]

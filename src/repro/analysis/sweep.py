@@ -71,6 +71,8 @@ class ConfigPoint:
     speedup: float
     utilization: float
     energy_uj: Optional[float] = None
+    #: Static-verifier report for this cell (``sweep(..., verify=True)``).
+    verify_report: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @property
     def label(self) -> str:
@@ -92,6 +94,10 @@ class SweepResult:
     points: list[ConfigPoint] = field(default_factory=list)
     #: Energy estimate of the layer-by-layer baseline, in microjoules.
     baseline_energy_uj: Optional[float] = None
+    #: Static-verifier report of the baseline cell (verified sweeps only).
+    baseline_verify_report: Optional[Any] = field(
+        default=None, compare=False, repr=False
+    )
 
     def best_speedup(self) -> ConfigPoint:
         """The point with the highest speedup."""
@@ -194,12 +200,18 @@ def evaluate_eval_task(
     return result.value
 
 
-def grid_job(task: SweepTask, options_overrides: Optional[Mapping[str, Any]]) -> EvaluateJob:
+def grid_job(
+    task: SweepTask,
+    options_overrides: Optional[Mapping[str, Any]],
+    verify: bool = False,
+) -> EvaluateJob:
     """Lower a paper-grid cell onto the canonical job form.
 
     The graph travels by benchmark name: the runtime resolves it
     driver-side for in-process backends and ships it once through the
-    pool initializer for the ``process`` backend.
+    pool initializer for the ``process`` backend.  With ``verify`` the
+    job carries the static-verifier flag, so every envelope streams
+    back with a :class:`~repro.verify.VerifyReport` attached.
     """
     return EvaluateJob(
         graph=task.benchmark,
@@ -210,6 +222,7 @@ def grid_job(task: SweepTask, options_overrides: Optional[Mapping[str, Any]]) ->
             **(dict(options_overrides) if options_overrides else {}),
         ),
         assume_canonical=True,
+        verify=verify,
         key=f"{task.benchmark}/{task.config}+{task.extra_pes}",
     )
 
@@ -282,6 +295,7 @@ def stream_grid(
     *,
     ordered: bool = False,
     capture: bool = False,
+    verify: bool = False,
 ) -> Iterator[JobResult]:
     """Stream the paper grid as :class:`JobResult` envelopes.
 
@@ -294,6 +308,8 @@ def stream_grid(
     repeated by name are evaluated once.  With ``capture``, per-cell
     failures surface as envelopes with ``error`` set instead of
     raising (baselines always raise — without them no speedup exists).
+    With ``verify`` every cell also runs the static verifier and the
+    envelopes carry ``verify_report``.
     """
     unique: dict[str, BenchmarkSpec] = {}
     for spec in specs:
@@ -311,7 +327,7 @@ def stream_grid(
         for task in grid_tasks(spec, xs):
             if task.is_baseline:
                 job = _dc_replace(
-                    grid_job(task, options_overrides),
+                    grid_job(task, options_overrides, verify),
                     graph=canonicals[spec.name],
                 )
                 result = execute_job(
@@ -323,7 +339,10 @@ def stream_grid(
                 )
                 baselines[spec.name] = result.value
                 yield _dc_replace(
-                    result, value=_point(task, result.value, baselines)
+                    result,
+                    value=_point(
+                        task, result.value, baselines, result.verify_report
+                    ),
                 )
             else:
                 pending.append(task)
@@ -331,21 +350,26 @@ def stream_grid(
     by_key = {}
     jobs = []
     for task in pending:
-        job = grid_job(task, options_overrides)
+        job = grid_job(task, options_overrides, verify)
         by_key[job.key] = task
         jobs.append(job)
     for result in runtime.map_jobs(
         jobs, graphs=canonicals, ordered=ordered, capture=capture
     ):
         if result.ok:
-            point = _point(by_key[result.key], result.value, baselines)
+            point = _point(
+                by_key[result.key], result.value, baselines, result.verify_report
+            )
             yield _dc_replace(result, value=point)
         else:
             yield result
 
 
 def _point(
-    task: SweepTask, evaluation: TaskEval, baselines: Mapping[str, TaskEval]
+    task: SweepTask,
+    evaluation: TaskEval,
+    baselines: Mapping[str, TaskEval],
+    report: Optional[Any] = None,
 ) -> ConfigPoint:
     baseline = baselines[task.benchmark].metrics
     metrics = evaluation.metrics
@@ -357,6 +381,7 @@ def _point(
         speedup=metrics.speedup_over(baseline),
         utilization=metrics.utilization,
         energy_uj=evaluation.energy_uj,
+        verify_report=report,
     )
 
 
@@ -386,6 +411,7 @@ def assemble_sweep_results(
                 ),
                 baseline=point.metrics,
                 baseline_energy_uj=point.energy_uj,
+                baseline_verify_report=point.verify_report,
             )
         else:
             results[point.benchmark].points.append(point)
@@ -402,10 +428,23 @@ def run_grid(
     xs: Sequence[int] = PAPER_XS,
     options_overrides: Optional[Mapping[str, Any]] = None,
     graphs: Optional[Mapping[str, Graph]] = None,
+    verify: bool = False,
 ) -> list[SweepResult]:
-    """Run and assemble the grid (the engine behind ``Session.sweep``)."""
+    """Run and assemble the grid (the engine behind ``Session.sweep``).
+
+    With ``verify`` every cell runs the static verifier and its
+    :class:`~repro.verify.VerifyReport` rides on the assembled points
+    (``ConfigPoint.verify_report`` / ``SweepResult.baseline_verify_report``).
+    """
     stream = stream_grid(
-        runtime, specs, xs, options_overrides, graphs, ordered=False, capture=False
+        runtime,
+        specs,
+        xs,
+        options_overrides,
+        graphs,
+        ordered=False,
+        capture=False,
+        verify=verify,
     )
     return assemble_sweep_results(specs, xs, (r.value for r in stream))
 
@@ -423,6 +462,7 @@ def sweep_job_stream(
         job.graphs,
         ordered=ordered,
         capture=capture,
+        verify=job.verify,
     )
 
 

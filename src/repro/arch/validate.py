@@ -1,10 +1,12 @@
-"""Architecture requirement checks (Section II-A of the paper).
+"""Deprecated shim over the unified static verifier.
 
-The paper defines hardware prerequisites for cross-layer scheduling:
-tiles on a NoC, independent parallel tiles, per-tile buffers, global
-DRAM, crossbar PEs, *enough PEs to store all weights at least once*,
-and a GPEU for non-base operations.  :func:`check_requirements` verifies
-a model/architecture pair against this list.
+The Section II-A requirement checks formerly implemented here moved to
+the ``arch.*`` rule pack of :mod:`repro.verify` (same messages,
+structured diagnostics).  :func:`check_requirements` remains as a
+one-shot-warning shim returning the historical
+:class:`RequirementReport` shape; new code should call
+:func:`repro.verify.verify_graph` with an architecture instead.  See
+MIGRATION.md.
 """
 
 from __future__ import annotations
@@ -12,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ir.graph import Graph
-from ..ir.ops import Input
 from .config import ArchitectureConfig
 
 
@@ -33,57 +34,31 @@ class RequirementReport:
 def check_requirements(
     graph: Graph, arch: ArchitectureConfig, pe_demand: int
 ) -> RequirementReport:
-    """Validate that ``arch`` can run ``graph`` with cross-layer scheduling.
+    """Deprecated: validate ``arch`` against the Section II-A requirements.
 
-    Parameters
-    ----------
-    graph:
-        Canonical (preprocessed) model.
-    arch:
-        Candidate architecture.
-    pe_demand:
-        Minimum PEs the model needs (``C_num`` from Eq. 1; computed by
-        :func:`repro.mapping.tiling.minimum_pe_requirement`, passed in
-        to keep this package free of mapping dependencies).
-
-    Returns
-    -------
-    RequirementReport
-        ``satisfied`` plus a list of human-readable violations.
+    Shim over the verifier's ``arch.*`` rules; the caller-supplied
+    ``pe_demand`` keeps the historical signature (the Eq. 1 capacity
+    message uses it verbatim), all other checks delegate to the rules.
     """
-    report = RequirementReport(pe_demand=pe_demand, pe_available=arch.num_pes)
+    from ..exec.runtime import warn_deprecated
+    from ..verify.engine import verify_graph
+    from ..verify.rules_arch import pe_capacity_issues
 
-    # Requirement: enough PEs to store all weights at least once.
-    if pe_demand > arch.num_pes:
-        report.add_issue(
-            f"model needs {pe_demand} PEs but architecture has only "
-            f"{arch.num_pes} (weights must be storable at least once)"
-        )
-
-    # Requirement: tiles exchange data via a NoC (mesh must be connected).
-    noc = arch.build_noc()
-    if not noc.is_connected():  # pragma: no cover - meshes are connected
-        report.add_issue("NoC mesh is not connected")
-
-    # Requirement: buffers inside the tiles.
-    if arch.tile.input_buffer_bytes == 0 and arch.tile.output_buffer_bytes == 0:
-        report.add_issue("tiles have no buffers for partial IFM/OFM data")
-
-    # Requirement: GPEU supports every non-base op the model uses.
-    unsupported = sorted(
-        {
-            graph[name].op_type
-            for name in graph.non_base_layers()
-            if not isinstance(graph[name], Input)
-            and not arch.tile.gpeu.supports(graph[name].op_type)
-        }
+    warn_deprecated(
+        "arch.validate.check_requirements",
+        "repro.verify.verify_graph(graph, arch)",
     )
-    for op_type in unsupported:
-        report.add_issue(f"GPEU does not support non-base op type '{op_type}'")
-
-    # Requirement: DRAM can hold all feature maps (coarse upper bound).
-    shapes = list(graph.infer_shapes().values())
-    if not arch.dram.fits(shapes):
-        report.add_issue("feature maps exceed global DRAM capacity")
-
+    report = RequirementReport(pe_demand=pe_demand, pe_available=arch.num_pes)
+    for issue in pe_capacity_issues(pe_demand, arch):
+        report.add_issue(issue)
+    rules = (
+        "arch.noc-connected",
+        "arch.buffers",
+        "arch.gpeu-support",
+        "arch.dram-capacity",
+    )
+    verified = verify_graph(graph, arch, rules=rules)
+    for rule in rules:  # historical reporting order
+        for diag in verified.by_rule(rule):
+            report.add_issue(diag.message)
     return report

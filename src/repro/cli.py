@@ -16,6 +16,10 @@ Subcommands
     Multi-objective design-space search (``repro.explore``): pick a
     strategy and a budget, journal every evaluated point into a
     resumable run store, and print the Pareto frontier.
+``verify``
+    Run the unified static verifier (``repro.verify``) over a saved
+    ``CompiledModel`` artifact and print the diagnostics (text or
+    JSON); the exit code reflects the worst severity found.
 
 The CLI installs under two names — ``clsa-cim`` (historical) and
 ``repro`` — with identical behaviour; ``--version`` prints the
@@ -34,6 +38,9 @@ Examples
     repro explore --model tinyyolov3 --strategy random --budget 40 --resume
     repro explore --model vgg16 --strategy successive-halving \
         --objectives latency utilization --out vgg16.jsonl --format json
+    repro schedule --model tinyyolov4 --verify --save tyv4.json
+    repro verify tyv4.json --format json
+    repro verify tyv4.json --rules schedule.raw-race schedule.exclusivity
 
 Both ``schedule`` and ``sweep`` run entirely through the public
 :class:`repro.session.Session` API (pass-pipeline compilation with a
@@ -177,6 +184,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=1,
         help="pipeline this many inferences (default 1)",
     )
+    schedule.add_argument(
+        "--verify", action="store_true",
+        help="run the full static verifier on the compiled model and "
+             "print its report (exit 1 on any error diagnostic)",
+    )
+    schedule.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write the compiled model's artifact JSON to PATH "
+             "(reload with 'repro verify PATH' or ir.load_compiled)",
+    )
 
     sweep = sub.add_parser("sweep", help="run the paper's configuration grid")
     sweep.add_argument(
@@ -204,6 +221,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rows-per-set", type=int, default=1,
         help="Stage I granularity applied to every config point "
              "(default 1 = finest)",
+    )
+    sweep.add_argument(
+        "--verify", action="store_true",
+        help="run the static verifier on every grid cell and print a "
+             "per-point summary after the sweep (exit 1 on any error)",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify a saved CompiledModel artifact",
+    )
+    verify.add_argument(
+        "artifact", metavar="ARTIFACT",
+        help="artifact JSON written by ir.save_compiled / schedule --save",
+    )
+    verify.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report format (default text)",
+    )
+    verify.add_argument(
+        "--rules", nargs="+", default=None, metavar="RULE",
+        help="run only these rules (default: every applicable rule; "
+             "see repro.verify.rule_names())",
+    )
+    verify.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors",
     )
 
     from .explore import objective_names, strategy_names
@@ -354,6 +398,17 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             f"{result.steady_state_interval:.0f} cycles/image steady-state, "
             f"{result.throughput_images_per_ms(arch.t_mvm_ns):.2f} images/ms"
         )
+    if args.save:
+        from .ir import save_compiled
+
+        save_compiled(compiled, args.save)
+        print(f"\nartifact written to {args.save}")
+    if args.verify:
+        report = session.verify(compiled)
+        print()
+        print(report.format())
+        if not report.ok:
+            return 1
     return 0
 
 
@@ -373,6 +428,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         options_overrides=overrides,
         graphs=graphs,
+        verify=args.verify,
     )
     if args.format == "csv":
         print(sweep_to_csv(results))
@@ -384,7 +440,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(fig7b_report(results))
         print()
         print(headline_summary(results))
+    if args.verify:
+        print()
+        failed = _print_sweep_verify(results)
+        if failed:
+            return 1
     return 0
+
+
+def _print_sweep_verify(results) -> bool:
+    """Per-cell verifier summary of a verified sweep; True on errors."""
+    failed = False
+    for result in results:
+        cells = [("layer-by-layer", result.baseline_verify_report)]
+        cells += [(point.label, point.verify_report) for point in result.points]
+        for label, report in cells:
+            if report is None:  # pragma: no cover - verify=False cells
+                continue
+            print(f"verify {result.benchmark}/{label}: {report.summary()}")
+            for diag in report.diagnostics:
+                print(f"  {diag.format()}")
+            failed = failed or not report.ok
+    return failed
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import Severity, verify_artifact
+
+    try:
+        report = verify_artifact(args.artifact, rules=args.rules)
+    except FileNotFoundError:
+        print(f"verify: no such artifact: {args.artifact}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.format())
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if report.at_least(threshold) else 0
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -438,6 +534,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_schedule(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "explore":
         return _cmd_explore(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

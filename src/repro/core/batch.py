@@ -73,6 +73,7 @@ def cross_layer_schedule_batch(
     dependency_graph: DependencyGraph,
     batch_size: int,
     engine: str = "csr",
+    validate: bool = True,
 ) -> BatchScheduleResult:
     """Stage IV extended to ``batch_size`` pipelined inferences.
 
@@ -84,7 +85,9 @@ def cross_layer_schedule_batch(
 
     ``engine='csr'`` (default) runs the columnar kernel of
     :mod:`repro.core.kernels`; ``engine='python'`` the reference
-    implementation below.  Both produce identical schedules.
+    implementation below.  Both produce identical schedules, and both
+    run the static verifier's cheap dependency/exclusivity checks
+    unless ``validate=False``.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -92,7 +95,7 @@ def cross_layer_schedule_batch(
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     if engine == "csr":
         schedule, spans = csr_batch_schedule(
-            set_graph_arrays(dependency_graph), batch_size
+            set_graph_arrays(dependency_graph), batch_size, validate=validate
         )
         return BatchScheduleResult(
             schedule=schedule,
@@ -169,32 +172,32 @@ def cross_layer_schedule_batch(
         if task.end > last[image]:
             last[image] = task.end
     spans = list(zip(first, last))
-    return BatchScheduleResult(
+    result = BatchScheduleResult(
         schedule=schedule,
         batch_size=batch_size,
         makespan=schedule.makespan,
         image_spans=spans,
     )
+    if validate:
+        from ..verify.hazards import assert_batch_schedule
+
+        assert_batch_schedule(result, dependency_graph)
+    return result
 
 
 def validate_batch_schedule(
     result: BatchScheduleResult, dependency_graph: DependencyGraph
 ) -> None:
-    """Assert resource exclusivity and per-image data dependencies."""
-    result.schedule.validate_intra_layer_order()
-    end_of: dict[BatchRef, int] = {}
-    start_of: dict[BatchRef, int] = {}
-    for task in result.schedule.tasks:
-        ref = (task.image, task.layer, task.set_index)
-        end_of[ref] = task.end
-        start_of[ref] = task.start
-    for (layer, index), preds in dependency_graph.deps.items():
-        for image in range(result.batch_size):
-            ref = (image, layer, index)
-            for pred_layer, pred_index in preds:
-                pred_ref = (image, pred_layer, pred_index)
-                if end_of[pred_ref] > start_of[ref]:
-                    raise AssertionError(
-                        f"batch data dependency violated: {pred_ref} ends at "
-                        f"{end_of[pred_ref]} but {ref} starts at {start_of[ref]}"
-                    )
+    """Deprecated shim over :func:`repro.verify.assert_batch_schedule`.
+
+    Resource exclusivity and per-image data dependencies are now
+    asserted by the unified static verifier.
+    """
+    from ..exec.runtime import warn_deprecated
+    from ..verify.hazards import assert_batch_schedule
+
+    warn_deprecated(
+        "core.batch.validate_batch_schedule",
+        "repro.verify.assert_batch_schedule (or Session.verify)",
+    )
+    assert_batch_schedule(result, dependency_graph)

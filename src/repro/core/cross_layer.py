@@ -154,20 +154,17 @@ def cross_layer_schedule_dynamic(
 def validate_schedule(
     schedule: Schedule, dependency_graph: DependencyGraph
 ) -> None:
-    """Assert that a schedule respects all data and resource dependencies."""
-    schedule.validate_intra_layer_order()
-    end_of: dict[SetRef, int] = {
-        (task.layer, task.set_index): task.end for task in schedule.tasks
-    }
-    start_of: dict[SetRef, int] = {
-        (task.layer, task.set_index): task.start for task in schedule.tasks
-    }
-    for ref, preds in dependency_graph.deps.items():
-        if ref not in start_of:
-            raise AssertionError(f"set {ref} missing from schedule")
-        for pred in preds:
-            if end_of[pred] > start_of[ref]:
-                raise AssertionError(
-                    f"data dependency violated: {pred} ends at {end_of[pred]} "
-                    f"but {ref} starts at {start_of[ref]}"
-                )
+    """Deprecated shim over :func:`repro.verify.assert_schedule`.
+
+    The data/resource dependency assertions now live in the unified
+    static verifier with the same ``AssertionError`` messages and
+    check order (intra-layer order first).
+    """
+    from ..exec.runtime import warn_deprecated
+    from ..verify.hazards import assert_schedule
+
+    warn_deprecated(
+        "core.cross_layer.validate_schedule",
+        "repro.verify.assert_schedule (or Session.verify)",
+    )
+    assert_schedule(schedule, dependency_graph)

@@ -46,7 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .dependencies import DependencyGraph
-from .schedule import Schedule, ScheduleColumns, check_layer_exclusivity
+from .schedule import Schedule, ScheduleColumns
 
 #: Scheduling engine option names (``ScheduleOptions.engine``).
 ENGINES = ("csr", "python")
@@ -268,29 +268,20 @@ def _columns_from(
 def validate_arrays_schedule(
     arrays: SetGraphArrays, start: np.ndarray, end: np.ndarray
 ) -> None:
-    """Vectorized single-image schedule validation.
+    """Deprecated shim over :func:`repro.verify.assert_arrays_schedule`.
 
-    Checks the same invariants as
-    :func:`repro.core.cross_layer.validate_schedule` — every data
-    dependency's producer ends before its consumer starts, and sets of
-    one layer never overlap — directly on the per-gid arrays.
+    The vectorized single-image checks (data dependencies, layer
+    exclusivity) now live in the unified static verifier with the same
+    ``AssertionError`` messages.
     """
-    if len(arrays.indices):
-        bad = end[arrays.indices] > start.repeat(np.diff(arrays.indptr))
-        if bad.any():
-            edge = int(np.flatnonzero(bad)[0])
-            gid = int(np.searchsorted(arrays.indptr, edge, side="right")) - 1
-            pred = int(arrays.indices[edge])
-            raise AssertionError(
-                "data dependency violated: "
-                f"({arrays.layers[arrays.layer_of[pred]]}, "
-                f"{int(arrays.set_index[pred])}) ends at {int(end[pred])} but "
-                f"({arrays.layers[arrays.layer_of[gid]]}, "
-                f"{int(arrays.set_index[gid])}) starts at {int(start[gid])}"
-            )
-    check_layer_exclusivity(
-        arrays.layer_of, start, end, arrays.set_index, arrays.layers
+    from ..exec.runtime import warn_deprecated
+    from ..verify.hazards import assert_arrays_schedule
+
+    warn_deprecated(
+        "core.kernels.validate_arrays_schedule",
+        "repro.verify.assert_arrays_schedule (or Session.verify)",
     )
+    assert_arrays_schedule(arrays, start, end)
 
 
 # ---------------------------------------------------------------------------
@@ -355,7 +346,9 @@ def csr_static_schedule(
         emit[pos : pos + k] = gids
         pos += k
     if validate:
-        validate_arrays_schedule(arrays, start, end)
+        from ..verify.hazards import assert_arrays_schedule
+
+        assert_arrays_schedule(arrays, start, end)
     return Schedule(policy=policy, columns=_columns_from(arrays, emit, start, end))
 
 
@@ -378,7 +371,9 @@ def csr_dynamic_schedule(
     """
     columns, start, end, _ = _run_dynamic(arrays)
     if validate:
-        validate_arrays_schedule(arrays, start, end)
+        from ..verify.hazards import assert_arrays_schedule
+
+        assert_arrays_schedule(arrays, start, end)
     return Schedule(policy=policy, columns=columns)
 
 
@@ -490,7 +485,7 @@ def csr_batch_schedule(
     arrays: SetGraphArrays,
     batch_size: int,
     policy: str | None = None,
-    validate: bool = False,
+    validate: bool = True,
 ) -> tuple[Schedule, list[tuple[int, int]]]:
     """Batched event-driven scheduler; returns (schedule, image spans).
 
@@ -500,9 +495,9 @@ def csr_batch_schedule(
     carries the full set graph; all images of a layer share its PEs.
     Batched state lives in flat ``image * n + gid`` arrays.
 
-    ``validate=True`` additionally runs the vectorized
-    :func:`validate_batch_arrays_schedule` checks (off by default to
-    mirror the reference implementation, which does not validate).
+    ``validate=True`` (the default, matching the single-image
+    schedulers) runs the vectorized dependency/exclusivity checks of
+    the static verifier before returning.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -651,7 +646,9 @@ def csr_batch_schedule(
     start_all = np.asarray(starts, dtype=np.int64).reshape(total)
     end_all = np.asarray(ends, dtype=np.int64).reshape(total)
     if validate:
-        validate_batch_arrays_schedule(arrays, batch_size, start_all, end_all)
+        from ..verify.hazards import assert_batch_arrays_schedule
+
+        assert_batch_arrays_schedule(arrays, batch_size, start_all, end_all)
     columns = _columns_from(
         arrays,
         emit_arr,
@@ -681,34 +678,19 @@ def validate_batch_arrays_schedule(
     start: np.ndarray,
     end: np.ndarray,
 ) -> None:
-    """Vectorized batch validation over flat ``image * n + gid`` arrays."""
-    n = arrays.num_sets
-    if len(arrays.indices):
-        consumer_start = start.reshape(batch_size, n)
-        producer_end = end.reshape(batch_size, n)
-        per_edge = np.diff(arrays.indptr)
-        bad = producer_end[:, arrays.indices] > np.repeat(
-            consumer_start, per_edge, axis=1
-        )
-        if bad.any():
-            image, edge = map(int, np.argwhere(bad)[0])
-            gid = int(np.searchsorted(arrays.indptr, edge, side="right")) - 1
-            pred = int(arrays.indices[edge])
-            raise AssertionError(
-                f"batch data dependency violated for image {image}: set "
-                f"({arrays.layers[arrays.layer_of[pred]]}, "
-                f"{int(arrays.set_index[pred])}) ends after "
-                f"({arrays.layers[arrays.layer_of[gid]]}, "
-                f"{int(arrays.set_index[gid])}) starts"
-            )
-    check_layer_exclusivity(
-        np.tile(arrays.layer_of, batch_size),
-        start,
-        end,
-        np.tile(arrays.set_index, batch_size),
-        arrays.layers,
-        prefix="batch resource violation",
+    """Deprecated shim over :func:`repro.verify.assert_batch_arrays_schedule`.
+
+    The vectorized batch checks now live in the unified static
+    verifier with the same ``AssertionError`` messages.
+    """
+    from ..exec.runtime import warn_deprecated
+    from ..verify.hazards import assert_batch_arrays_schedule
+
+    warn_deprecated(
+        "core.kernels.validate_batch_arrays_schedule",
+        "repro.verify.assert_batch_arrays_schedule (or Session.verify)",
     )
+    assert_batch_arrays_schedule(arrays, batch_size, start, end)
 
 
 # ---------------------------------------------------------------------------

@@ -110,6 +110,9 @@ class CompilationContext:
     # bookkeeping
     timings: dict[str, float] = field(default_factory=dict)
     diagnostics: list[str] = field(default_factory=list)
+    #: Merged :class:`repro.verify.VerifyReport` when the manager runs
+    #: with a verify mode other than ``"off"``.
+    verify_report: Optional[Any] = None
 
     def note(self, message: str) -> None:
         """Append a diagnostic line."""
@@ -457,6 +460,9 @@ def default_passes() -> list[Pass]:
 # manager
 # ---------------------------------------------------------------------------
 
+#: Static-verification modes accepted by :class:`PassManager`.
+VERIFY_MODES = ("off", "final", "each_pass")
+
 
 class PassManager:
     """Runs an ordered list of passes over a :class:`CompilationContext`.
@@ -466,12 +472,28 @@ class PassManager:
     passes:
         The pass order; defaults to :func:`default_passes`.  Custom
         managers can insert analysis or transform passes anywhere.
+    verify:
+        Static-verification mode: ``"off"`` (default) runs no checks,
+        ``"final"`` runs the full rule set once after the last pass,
+        ``"each_pass"`` additionally runs the cheap rules after every
+        executed pass.  Findings are appended to the context's
+        ``diagnostics`` and merged into ``ctx.verify_report``;
+        verification records problems, it never aborts a compilation.
     """
 
-    def __init__(self, passes: Optional[Iterable[Pass]] = None) -> None:
+    def __init__(
+        self,
+        passes: Optional[Iterable[Pass]] = None,
+        verify: str = "off",
+    ) -> None:
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"verify must be one of {VERIFY_MODES}, got {verify!r}"
+            )
         self.passes: list[Pass] = (
             list(passes) if passes is not None else default_passes()
         )
+        self.verify = verify
 
     def insert_before(self, name: str, new_pass: Pass) -> None:
         """Insert ``new_pass`` before the pass called ``name``."""
@@ -515,7 +537,39 @@ class PassManager:
                 end_cb = getattr(hook, "on_pass_end", None)
                 if end_cb is not None:
                     _guarded(ctx, "on_pass_end", end_cb, p.name, ctx, elapsed)
+            if self.verify == "each_pass":
+                self._run_verify(ctx, after=p.name, cost="cheap")
+        if self.verify != "off":
+            self._run_verify(ctx, after=None, cost=None)
         return ctx
+
+    def _run_verify(
+        self, ctx: CompilationContext, after: Optional[str], cost: Optional[str]
+    ) -> None:
+        """Run the static verifier over the artifacts produced so far."""
+        from ..verify.engine import VerifyContext, verify_context
+
+        vctx = VerifyContext(
+            graph=ctx.canonical if ctx.canonical is not None else ctx.graph,
+            arch=ctx.arch,
+            mapped=ctx.mapped,
+            placement=ctx.placement,
+            rewrite=ctx.rewrite,
+            sets=ctx.sets,
+            dependencies=ctx.dependencies,
+            schedule=ctx.schedule,
+            target=ctx.graph.name,
+        )
+        report = verify_context(vctx, cost=cost)
+        stage = f"after '{after}'" if after else "final"
+        for diag in report.diagnostics:
+            line = f"verify ({stage}): {diag.format()}"
+            if line not in ctx.diagnostics:
+                ctx.note(line)
+        if ctx.verify_report is None:
+            ctx.verify_report = report
+        else:
+            ctx.verify_report = ctx.verify_report.merged(report)
 
     def compile(
         self,
@@ -538,6 +592,6 @@ class PassManager:
         return self.run(ctx, hooks).to_compiled()
 
 
-def default_pass_manager() -> PassManager:
+def default_pass_manager(verify: str = "off") -> PassManager:
     """A fresh :class:`PassManager` with the standard pass order."""
-    return PassManager()
+    return PassManager(verify=verify)

@@ -52,7 +52,6 @@ from .cache import CacheKey, CompilationCache, graph_fingerprint
 from .cross_layer import (
     cross_layer_schedule,
     cross_layer_schedule_dynamic,
-    validate_schedule,
 )
 from .dependencies import DependencyGraph, determine_dependencies
 from .intra_layer import intra_layer_order
@@ -439,7 +438,9 @@ def schedule_stage(
         else:
             order = intra_layer_order(sets, options.intra_layer_policy)
             schedule = cross_layer_schedule(mapped, dependencies, order)
-        validate_schedule(schedule, dependencies)
+        from ..verify.hazards import assert_schedule
+
+        assert_schedule(schedule, dependencies)
         return schedule
 
     return _stage_cached(

@@ -69,6 +69,9 @@ class CompileJob(Job):
     options: Optional["ScheduleOptions"] = None
     arch: Optional["ArchitectureConfig"] = None
     assume_canonical: bool = False
+    #: Run the static verifier over the compiled model; the report
+    #: rides back on :attr:`JobResult.verify_report`.
+    verify: bool = False
     key: Optional[str] = None
 
 
@@ -90,6 +93,9 @@ class EvaluateJob(Job):
     assume_canonical: bool = False
     #: Skip the energy estimate (proxy evaluations want latency only).
     want_energy: bool = True
+    #: Run the static verifier over the compiled model; the report
+    #: rides back on :attr:`JobResult.verify_report`.
+    verify: bool = False
     key: Optional[str] = None
 
 
@@ -111,6 +117,7 @@ class SweepJob(Job):
     xs: Optional[Tuple[int, ...]] = None
     options_overrides: Optional[Mapping[str, Any]] = None
     graphs: Optional[Mapping[str, "Graph"]] = None
+    verify: bool = False
     key: Optional[str] = None
 
 
@@ -200,6 +207,9 @@ class JobResult:
     cache_hits: int = 0
     cache_misses: int = 0
     error: Optional[JobError] = None
+    #: :class:`repro.verify.VerifyReport` when the job requested
+    #: verification (``verify=True``), else ``None``.
+    verify_report: Optional[Any] = None
 
     @property
     def ok(self) -> bool:

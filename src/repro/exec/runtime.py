@@ -94,7 +94,7 @@ def execute_job(
     """
     key = job_key(job)
     try:
-        value, timings, diagnostics, hits, misses = _run_atomic(
+        value, timings, diagnostics, hits, misses, verify_report = _run_atomic(
             job, cache, pass_manager, hooks
         )
         return JobResult(
@@ -104,6 +104,7 @@ def execute_job(
             diagnostics=tuple(diagnostics),
             cache_hits=hits,
             cache_misses=misses,
+            verify_report=verify_report,
         )
     except Exception as exc:
         if not capture:
@@ -123,7 +124,7 @@ def _run_atomic(
     cache: Optional[CompilationCache],
     pass_manager: Any,
     hooks: Sequence[Any],
-) -> tuple[Any, dict[str, float], list[str], int, int]:
+) -> tuple[Any, dict[str, float], list[str], int, int, Any]:
     from ..session import Session  # runtime import: session imports this module
 
     if not isinstance(job, (CompileJob, EvaluateJob)):
@@ -157,9 +158,21 @@ def _run_atomic(
 
             energy = estimate_energy(compiled)
         value = Evaluation(metrics=compiled.evaluate(), energy=energy)
+    verify_report = None
+    if getattr(job, "verify", False):
+        from ..verify.engine import verify_compiled
+
+        verify_report = verify_compiled(compiled)
     hits = max(0, (cache.hits if cache is not None else 0) - hits0)
     misses = max(0, (cache.misses if cache is not None else 0) - misses0)
-    return value, dict(compiled.timings), list(compiled.diagnostics), hits, misses
+    return (
+        value,
+        dict(compiled.timings),
+        list(compiled.diagnostics),
+        hits,
+        misses,
+        verify_report,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..ir.graph import Graph
-from ..ir.validate import check_graph
+from ..verify.engine import assert_graph
 from .bn_folding import BnFoldReport, fold_batch_norms
 from .partitioning import PartitionReport, is_canonical, partition_graph
 from .quantization import QuantizationConfig, QuantizationReport, quantize_graph
@@ -80,7 +80,7 @@ def preprocess(
     if quantization is not None:
         quant_report = quantize_graph(canonical, quantization)
     if validate:
-        check_graph(canonical)
+        assert_graph(canonical)
         if not is_canonical(canonical):  # pragma: no cover - defensive
             raise AssertionError("preprocessing did not reach canonical form")
     return PreprocessReport(

@@ -1,84 +1,36 @@
-"""Structural validation of IR graphs.
+"""Deprecated shims over the unified static verifier.
 
-:func:`validate_graph` returns a list of human-readable issues instead
-of raising, so callers can report everything wrong at once;
-:func:`check_graph` raises on the first problem for use in pipelines.
+The structural graph checks formerly implemented here moved to the
+``ir.*`` rule pack of :mod:`repro.verify` (same messages, structured
+diagnostics, pluggable rules).  :func:`validate_graph` and
+:func:`check_graph` remain as one-shot-warning shims; new code should
+call :func:`repro.verify.verify_graph` (diagnostics) or
+:func:`repro.verify.assert_graph` (raising) instead.  See MIGRATION.md.
 """
 
 from __future__ import annotations
 
-from .graph import Graph, GraphError
-from .ops import Conv2D, Dense, Input
-from .tensor import Rect
+from .graph import Graph
 
 
 def validate_graph(graph: Graph) -> list[str]:
-    """Collect structural problems with ``graph``.
+    """Deprecated: collect structural problems with ``graph``.
 
-    Checks: at least one input, acyclicity/dangling edges, shape
-    inference success, no orphan non-output nodes with zero consumers
-    other than genuine outputs, backward region propagation sanity for
-    every node (full output rect must map into input bounds).
+    Shim over the verifier's IR rules; returns the same error messages
+    the historical implementation produced (advisory warnings such as
+    unconsumed inputs are excluded for compatibility).
     """
-    issues: list[str] = []
+    from ..exec.runtime import warn_deprecated
+    from ..verify.engine import graph_issues
 
-    if not graph.input_names():
-        issues.append("graph has no Input nodes")
-
-    try:
-        order = graph.topological_order()
-    except GraphError as exc:
-        issues.append(str(exc))
-        return issues
-
-    for name in order:
-        op = graph[name]
-        if not isinstance(op, Input) and not op.inputs:
-            issues.append(f"non-input node '{name}' has no producers")
-
-    try:
-        shapes = graph.infer_shapes()
-    except GraphError as exc:
-        issues.append(str(exc))
-        return issues
-
-    for name in order:
-        op = graph[name]
-        if isinstance(op, Input) or not op.inputs:
-            continue
-        input_shapes = [shapes[p] for p in op.inputs]
-        out_shape = shapes[name]
-        try:
-            rects = op.input_regions(out_shape.full_rect(), input_shapes, out_shape)
-        except Exception as exc:  # noqa: BLE001 - report as validation issue
-            issues.append(f"region propagation failed at '{name}': {exc}")
-            continue
-        if len(rects) != len(op.inputs):
-            issues.append(
-                f"'{name}' returned {len(rects)} input regions for "
-                f"{len(op.inputs)} inputs"
-            )
-            continue
-        for producer, rect, in_shape in zip(op.inputs, rects, input_shapes):
-            bounds = Rect(0, 0, in_shape.height, in_shape.width)
-            if not bounds.contains(rect):
-                issues.append(
-                    f"'{name}': required region {rect} of input '{producer}' "
-                    f"exceeds bounds {bounds}"
-                )
-
-    for name in order:
-        op = graph[name]
-        if isinstance(op, (Conv2D, Dense)) and shapes[name].num_elements == 0:
-            issues.append(f"base layer '{name}' has an empty output")
-
-    return issues
+    warn_deprecated("ir.validate.validate_graph", "repro.verify.verify_graph")
+    return graph_issues(graph)
 
 
 def check_graph(graph: Graph) -> None:
-    """Raise :class:`GraphError` if the graph has any structural issue."""
-    issues = validate_graph(graph)
-    if issues:
-        raise GraphError(
-            f"graph '{graph.name}' failed validation:\n  - " + "\n  - ".join(issues)
-        )
+    """Deprecated: raise :class:`GraphError` on any structural issue."""
+    from ..exec.runtime import warn_deprecated
+    from ..verify.engine import assert_graph
+
+    warn_deprecated("ir.validate.check_graph", "repro.verify.assert_graph")
+    assert_graph(graph)

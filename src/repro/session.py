@@ -56,12 +56,15 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # heavy subsystems: imported for annotations only
+    from os import PathLike
+
     from .analysis.sweep import SweepResult
     from .explore.engine import ExplorationResult
     from .explore.space import SearchSpace
     from .explore.store import RunStore
     from .models.zoo import BenchmarkSpec
     from .sim.metrics import Metrics
+    from .verify.diagnostics import VerifyReport
 
 from .arch.config import ArchitectureConfig
 from .core.cache import CompilationCache
@@ -247,6 +250,29 @@ class Session:
         compiled = self.compile(model, options, assume_canonical=assume_canonical)
         return compiled.evaluate()
 
+    def verify(
+        self,
+        target: Union[Graph, CompiledModel, str, "PathLike[str]"],
+        *,
+        rules: Optional[Iterable[str]] = None,
+        cost: Optional[str] = None,
+    ) -> "VerifyReport":
+        """Statically verify a graph, a compiled model, or a saved artifact.
+
+        Accepts a :class:`CompiledModel` (fresh or loaded), a bare
+        :class:`Graph` (IR + architecture rules against this session's
+        arch), or a filesystem path to a saved artifact.  ``rules``
+        restricts the run to named rules; ``cost="cheap"`` skips the
+        expensive whole-schedule analyses.
+        """
+        from .verify.engine import verify_artifact, verify_compiled, verify_graph
+
+        if isinstance(target, CompiledModel):
+            return verify_compiled(target, rules=rules, cost=cost)
+        if isinstance(target, Graph):
+            return verify_graph(target, self.arch, rules=rules)
+        return verify_artifact(target, rules=rules, cost=cost)
+
     # -- jobs ----------------------------------------------------------
 
     def submit(self, job: Job) -> JobFuture:
@@ -425,6 +451,7 @@ class Session:
         executor: Union[Executor, str, None] = None,
         options_overrides: Optional[dict] = None,
         graphs: Optional[dict[str, Graph]] = None,
+        verify: bool = False,
     ) -> list["SweepResult"]:
         """Run the paper's configuration grid (Fig. 7) per benchmark.
 
@@ -437,7 +464,10 @@ class Session:
         hooks and any custom pass manager apply to every point — since
         neither can cross a process boundary, the ``process`` backend
         runs such sweeps serially (with a ``RuntimeWarning``); the
-        ``thread`` backend keeps both working in parallel.
+        ``thread`` backend keeps both working in parallel.  With
+        ``verify`` every grid cell additionally runs the static
+        verifier and its report rides on the returned points
+        (``ConfigPoint.verify_report``).
         """
         from .analysis.sweep import PAPER_XS, resolve_benchmarks, run_grid
 
@@ -450,6 +480,7 @@ class Session:
                 xs=tuple(xs) if xs is not None else PAPER_XS,
                 options_overrides=options_overrides,
                 graphs=graphs,
+                verify=verify,
             )
         finally:
             if transient:

@@ -1,0 +1,80 @@
+"""Unified static verifier.
+
+One rule-based analyzer for everything the compiler produces: IR
+graphs, architecture configs, placements, Stage I set partitions, and
+— via a vectorized hazard detector over the columnar schedule form —
+Stage IV schedules, fresh or loaded from disk.
+
+Entry points::
+
+    from repro.verify import verify_compiled, verify_graph, verify_artifact
+
+    report = verify_compiled(session.compile(graph))
+    report.ok            # no error-severity findings
+    print(report.format())
+
+Third-party checks plug in through :func:`register_rule`, mirroring
+the mapping/scheduler/objective registries.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    VerificationError,
+    VerifyReport,
+)
+from .engine import (
+    VerifyContext,
+    assert_graph,
+    context_for,
+    graph_issues,
+    verify_artifact,
+    verify_compiled,
+    verify_context,
+    verify_graph,
+)
+from .hazards import (
+    HazardTable,
+    assert_arrays_schedule,
+    assert_batch_arrays_schedule,
+    assert_batch_schedule,
+    assert_schedule,
+    build_table,
+)
+from .registry import (
+    Rule,
+    register_rule,
+    resolve_rule,
+    rule_names,
+    rules_for,
+    unregister_rule,
+)
+
+__all__ = [
+    "Diagnostic",
+    "HazardTable",
+    "Location",
+    "Rule",
+    "Severity",
+    "VerificationError",
+    "VerifyContext",
+    "VerifyReport",
+    "assert_arrays_schedule",
+    "assert_batch_arrays_schedule",
+    "assert_batch_schedule",
+    "assert_graph",
+    "assert_schedule",
+    "build_table",
+    "context_for",
+    "graph_issues",
+    "register_rule",
+    "resolve_rule",
+    "rule_names",
+    "rules_for",
+    "unregister_rule",
+    "verify_artifact",
+    "verify_compiled",
+    "verify_context",
+    "verify_graph",
+]

@@ -1,0 +1,294 @@
+"""Structured diagnostics: the output vocabulary of the static verifier.
+
+Every rule in :mod:`repro.verify` reports findings as
+:class:`Diagnostic` values — a rule id, a :class:`Severity`, a
+human-readable message, an optional :class:`Location` span (layer /
+set / PE / cycle / image) and a fix-hint — instead of raising on the
+first problem the way the historical ad-hoc validators did.  A
+:class:`VerifyReport` aggregates the diagnostics of one verification
+run and answers the common questions (``ok``, ``errors``,
+``by_rule``) plus text/JSON rendering for the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally.
+
+    ``ERROR`` marks a schedule/model/architecture that is *incorrect*
+    (a hazard, a broken invariant); ``WARNING`` marks something legal
+    but suspicious or costly (e.g. buffer pressure the Sec. II-A DRAM
+    spill would absorb); ``INFO`` is advisory.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, value: "str | int | Severity") -> "Severity":
+        """Coerce a name (``"error"``) or numeric level to a Severity."""
+        if isinstance(value, Severity):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        try:
+            return cls[value.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of "
+                f"{[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points: any subset of layer/set/PE/cycle/image."""
+
+    layer: Optional[str] = None
+    set_index: Optional[int] = None
+    pe: Optional[int] = None
+    cycle: Optional[int] = None
+    image: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return any(
+            value is not None
+            for value in (self.layer, self.set_index, self.pe, self.cycle, self.image)
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.layer is not None:
+            parts.append(f"layer={self.layer}")
+        if self.set_index is not None:
+            parts.append(f"set={self.set_index}")
+        if self.pe is not None:
+            parts.append(f"pe={self.pe}")
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        if self.image is not None:
+            parts.append(f"image={self.image}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form with unset fields omitted."""
+        record: dict[str, Any] = {}
+        for key in ("layer", "set_index", "pe", "cycle", "image"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        return record
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule.
+
+    Attributes
+    ----------
+    rule:
+        Registered rule id, e.g. ``"schedule.raw-race"``.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable description of the problem.
+    location:
+        Optional :class:`Location` span the finding points at.
+    hint:
+        Optional fix-hint shown after the message.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: Optional[str] = None
+
+    def format(self) -> str:
+        """One-line text rendering: ``error[rule] message (at ...) hint``."""
+        text = f"{self.severity}[{self.rule}] {self.message}"
+        if self.location:
+            text += f" (at {self.location})"
+        if self.hint:
+            text += f" — hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of this diagnostic."""
+        record: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.location:
+            record["location"] = self.location.to_dict()
+        if self.hint:
+            record["hint"] = self.hint
+        return record
+
+
+class VerificationError(AssertionError):
+    """Raised by :meth:`VerifyReport.raise_if_errors` on error findings.
+
+    Subclasses :class:`AssertionError` so callers of the historical
+    raising validators keep catching the same exception class.
+    """
+
+    def __init__(self, report: "VerifyReport") -> None:
+        lines = [diag.format() for diag in report.errors]
+        super().__init__(
+            f"verification failed with {len(lines)} error(s):\n  "
+            + "\n  ".join(lines)
+        )
+        self.report = report
+
+
+@dataclass
+class VerifyReport:
+    """All diagnostics of one verification run.
+
+    ``target`` describes what was verified (model/architecture names),
+    ``rules_run`` / ``rules_skipped`` record coverage: a skipped rule
+    is one whose required artifacts were absent from the target.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    target: str = ""
+    rules_run: tuple[str, ...] = ()
+    rules_skipped: tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Any:
+        return iter(self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no diagnostic reaches ``Severity.ERROR``."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no diagnostics at all."""
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Diagnostics at ``Severity.ERROR``."""
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Diagnostics at ``Severity.WARNING``."""
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        """The highest severity present, or ``None`` when clean."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        """Diagnostics reported under one rule id."""
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def fired_rules(self) -> tuple[str, ...]:
+        """Rule ids that reported at least one diagnostic (sorted)."""
+        return tuple(sorted({d.rule for d in self.diagnostics}))
+
+    def at_least(self, severity: "Severity | str") -> list[Diagnostic]:
+        """Diagnostics at or above ``severity``."""
+        floor = Severity.parse(severity)
+        return [d for d in self.diagnostics if d.severity >= floor]
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append diagnostics, dropping exact duplicates."""
+        seen = {
+            (d.rule, d.message, d.location, d.severity) for d in self.diagnostics
+        }
+        for diag in diagnostics:
+            key = (diag.rule, diag.message, diag.location, diag.severity)
+            if key not in seen:
+                seen.add(key)
+                self.diagnostics.append(diag)
+
+    def merged(self, other: "VerifyReport") -> "VerifyReport":
+        """A new report combining this one with ``other`` (deduplicated)."""
+        report = replace(
+            self,
+            diagnostics=list(self.diagnostics),
+            rules_run=tuple(dict.fromkeys(self.rules_run + other.rules_run)),
+            rules_skipped=tuple(
+                dict.fromkeys(self.rules_skipped + other.rules_skipped)
+            ),
+        )
+        report.extend(other.diagnostics)
+        return report
+
+    def summary(self) -> str:
+        """One-line outcome summary."""
+        prefix = f"{self.target}: " if self.target else ""
+        if not self.diagnostics:
+            return (
+                f"{prefix}clean — {len(self.rules_run)} rule(s) run, "
+                "no diagnostics"
+            )
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.diagnostics) - n_err - n_warn
+        parts = []
+        if n_err:
+            parts.append(f"{n_err} error(s)")
+        if n_warn:
+            parts.append(f"{n_warn} warning(s)")
+        if n_info:
+            parts.append(f"{n_info} note(s)")
+        return f"{prefix}{', '.join(parts)} from {len(self.rules_run)} rule(s)"
+
+    def format(self) -> str:
+        """Multi-line text rendering: summary plus one line per finding."""
+        lines = [self.summary()]
+        for diag in sorted(
+            self.diagnostics, key=lambda d: (-int(d.severity), d.rule)
+        ):
+            lines.append(f"  {diag.format()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the whole report."""
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "clean": self.clean,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.diagnostics)
+                - len(self.errors)
+                - len(self.warnings),
+            },
+            "rules_run": list(self.rules_run),
+            "rules_skipped": list(self.rules_skipped),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`VerificationError` when any error is present."""
+        if not self.ok:
+            raise VerificationError(self)

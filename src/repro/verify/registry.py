@@ -1,0 +1,171 @@
+"""Rule registry for the static verifier.
+
+Mirrors the mapping/scheduler/objective registries in
+:mod:`repro.core.passes` and :mod:`repro.analysis`: built-in rules are
+registered at import time and protected from removal; third-party
+plugins add their own via :func:`register_rule` and the engine picks
+them up automatically.
+
+A :class:`Rule` declares which compilation artifacts it ``requires``
+(``"graph"``, ``"arch"``, ``"mapped"``, ``"placement"``, ``"rewrite"``,
+``"sets"``, ``"dependencies"``, ``"schedule"``) so the engine can skip
+rules whose inputs are absent from a partial target (e.g. verifying a
+bare :class:`~repro.ir.graph.Graph` runs only the IR rules), and a
+``cost`` tier so hot paths (kernel self-validation, ``each_pass``
+verify mode) can restrict themselves to the cheap rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:
+    from .diagnostics import Diagnostic
+    from .engine import VerifyContext
+
+RULE_FIELDS = (
+    "graph",
+    "arch",
+    "mapped",
+    "placement",
+    "rewrite",
+    "sets",
+    "dependencies",
+    "schedule",
+)
+
+RULE_COSTS = ("cheap", "full")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named static check.
+
+    ``check`` receives a :class:`~repro.verify.engine.VerifyContext`
+    and yields :class:`~repro.verify.diagnostics.Diagnostic` values
+    (an empty iterable means the rule is satisfied).
+    """
+
+    name: str
+    check: Callable[["VerifyContext"], Iterable["Diagnostic"]]
+    requires: tuple[str, ...] = ()
+    cost: str = "cheap"
+    description: str = ""
+    builtin: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("rule name must be non-empty")
+        if self.cost not in RULE_COSTS:
+            raise ValueError(
+                f"unknown rule cost {self.cost!r}; expected one of {RULE_COSTS}"
+            )
+        for req in self.requires:
+            if req not in RULE_FIELDS:
+                raise ValueError(
+                    f"rule '{self.name}' requires unknown field {req!r}; "
+                    f"expected a subset of {RULE_FIELDS}"
+                )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule, *, replace: bool = False) -> Rule:
+    """Register ``rule`` under its name.
+
+    Refuses to overwrite an existing registration unless
+    ``replace=True``, matching the mapping/scheduler registries.
+    """
+    if not replace and rule.name in _RULES:
+        raise ValueError(
+            f"rule '{rule.name}' is already registered; "
+            "pass replace=True to override"
+        )
+    _RULES[rule.name] = rule
+    return rule
+
+
+def unregister_rule(name: str) -> None:
+    """Remove a third-party rule; built-in rules cannot be removed."""
+    rule = _RULES.get(name)
+    if rule is None:
+        raise KeyError(f"rule '{name}' is not registered")
+    if rule.builtin:
+        raise ValueError(f"cannot unregister built-in rule '{name}'")
+    del _RULES[name]
+
+
+def rule_names() -> tuple[str, ...]:
+    """All registered rule names, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def resolve_rule(name: str) -> Rule:
+    """Look up one rule by name."""
+    try:
+        return _RULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule '{name}'; registered rules: {', '.join(sorted(_RULES))}"
+        ) from None
+
+
+def rules_for(
+    available: Iterable[str],
+    *,
+    names: Optional[Iterable[str]] = None,
+    cost: Optional[str] = None,
+) -> tuple[Rule, ...]:
+    """Rules runnable given the ``available`` context fields.
+
+    ``names`` restricts to an explicit selection (unknown names raise),
+    ``cost="cheap"`` drops the full-cost rules.  Returns rules in
+    sorted-name order so reports are deterministic.
+    """
+    have = frozenset(available)
+    if names is not None:
+        selected = [resolve_rule(name) for name in names]
+    else:
+        selected = [_RULES[name] for name in sorted(_RULES)]
+    if cost is not None:
+        if cost not in RULE_COSTS:
+            raise ValueError(
+                f"unknown rule cost {cost!r}; expected one of {RULE_COSTS}"
+            )
+        if cost == "cheap":
+            selected = [rule for rule in selected if rule.cost == "cheap"]
+    return tuple(
+        rule for rule in selected if frozenset(rule.requires) <= have
+    )
+
+
+def builtin(
+    name: str,
+    *,
+    requires: tuple[str, ...] = (),
+    cost: str = "cheap",
+    description: str = "",
+) -> Callable[
+    [Callable[["VerifyContext"], Iterable["Diagnostic"]]],
+    Callable[["VerifyContext"], Iterable["Diagnostic"]],
+]:
+    """Decorator registering a built-in rule in the defining module."""
+
+    def wrap(
+        check: Callable[["VerifyContext"], Iterable["Diagnostic"]]
+    ) -> Callable[["VerifyContext"], Iterable["Diagnostic"]]:
+        register_rule(
+            Rule(
+                name=name,
+                check=check,
+                requires=requires,
+                cost=cost,
+                description=description or (check.__doc__ or "").strip(),
+                builtin=True,
+            )
+        )
+        return check
+
+    return wrap
