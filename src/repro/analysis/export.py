@@ -3,20 +3,28 @@
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .sweep import SweepResult
 
 #: Column order of the CSV export.
 CSV_HEADER = (
     "benchmark,config,extra_pes,label,latency_cycles,latency_ns,"
-    "speedup,utilization,num_pes,energy_uj"
+    "speedup,utilization,num_pes,energy_uj,"
+    "cache_memory_hits,cache_store_hits,cache_misses"
 )
 
 
 def _energy_cell(energy_uj) -> str:
     """Energy column value (empty for hand-built points without one)."""
     return "" if energy_uj is None else f"{energy_uj:.3f}"
+
+
+def _cache_cells(triple: Optional[tuple[int, int, int]]) -> str:
+    """The three cache-delta columns (empty for hand-built results)."""
+    if triple is None:
+        return ",,"
+    return f"{triple[0]},{triple[1]},{triple[2]}"
 
 
 def sweep_to_csv(results: Sequence[SweepResult]) -> str:
@@ -28,7 +36,8 @@ def sweep_to_csv(results: Sequence[SweepResult]) -> str:
             f"{result.benchmark},layer-by-layer,0,layer-by-layer,"
             f"{baseline.latency_cycles},{baseline.latency_ns:.1f},"
             f"1.0,{baseline.utilization:.6f},{baseline.num_pes},"
-            f"{_energy_cell(result.baseline_energy_uj)}"
+            f"{_energy_cell(result.baseline_energy_uj)},"
+            f"{_cache_cells(result.baseline_cache)}"
         )
         for point in result.points:
             metrics = point.metrics
@@ -37,9 +46,17 @@ def sweep_to_csv(results: Sequence[SweepResult]) -> str:
                 f"{point.label},{metrics.latency_cycles},"
                 f"{metrics.latency_ns:.1f},{point.speedup:.6f},"
                 f"{point.utilization:.6f},{metrics.num_pes},"
-                f"{_energy_cell(point.energy_uj)}"
+                f"{_energy_cell(point.energy_uj)},"
+                f"{point.cache_memory_hits},{point.cache_store_hits},"
+                f"{point.cache_misses}"
             )
     return "\n".join(lines)
+
+
+def _cache_object(triple: Optional[tuple[int, int, int]]) -> Optional[dict]:
+    if triple is None:
+        return None
+    return {"memory_hits": triple[0], "store_hits": triple[1], "misses": triple[2]}
 
 
 def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str:
@@ -55,6 +72,7 @@ def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str
                     "utilization": result.baseline.utilization,
                     "num_pes": result.baseline.num_pes,
                     "energy_uj": result.baseline_energy_uj,
+                    "cache": _cache_object(result.baseline_cache),
                 },
                 "points": [
                     {
@@ -66,6 +84,13 @@ def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str
                         "utilization": point.utilization,
                         "num_pes": point.metrics.num_pes,
                         "energy_uj": point.energy_uj,
+                        "cache": _cache_object(
+                            (
+                                point.cache_memory_hits,
+                                point.cache_store_hits,
+                                point.cache_misses,
+                            )
+                        ),
                     }
                     for point in result.points
                 ],

@@ -73,6 +73,13 @@ class ConfigPoint:
     energy_uj: Optional[float] = None
     #: Static-verifier report for this cell (``sweep(..., verify=True)``).
     verify_report: Optional[Any] = field(default=None, compare=False, repr=False)
+    #: Compilation-cache deltas observed while evaluating this cell:
+    #: stage lookups served by the in-memory tier, by the persistent
+    #: artifact store, and computed from scratch.  Provenance metadata —
+    #: excluded from equality (a disk-served point equals a cold one).
+    cache_memory_hits: int = field(default=0, compare=False)
+    cache_store_hits: int = field(default=0, compare=False)
+    cache_misses: int = field(default=0, compare=False)
 
     @property
     def label(self) -> str:
@@ -96,6 +103,12 @@ class SweepResult:
     baseline_energy_uj: Optional[float] = None
     #: Static-verifier report of the baseline cell (verified sweeps only).
     baseline_verify_report: Optional[Any] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Cache deltas of the baseline cell as ``(memory_hits,
+    #: store_hits, misses)`` — provenance metadata, like the per-point
+    #: ``cache_*`` fields.
+    baseline_cache: Optional[tuple[int, int, int]] = field(
         default=None, compare=False, repr=False
     )
 
@@ -340,9 +353,7 @@ def stream_grid(
                 baselines[spec.name] = result.value
                 yield _dc_replace(
                     result,
-                    value=_point(
-                        task, result.value, baselines, result.verify_report
-                    ),
+                    value=_point(task, result.value, baselines, result),
                 )
             else:
                 pending.append(task)
@@ -357,9 +368,7 @@ def stream_grid(
         jobs, graphs=canonicals, ordered=ordered, capture=capture
     ):
         if result.ok:
-            point = _point(
-                by_key[result.key], result.value, baselines, result.verify_report
-            )
+            point = _point(by_key[result.key], result.value, baselines, result)
             yield _dc_replace(result, value=point)
         else:
             yield result
@@ -369,7 +378,7 @@ def _point(
     task: SweepTask,
     evaluation: TaskEval,
     baselines: Mapping[str, TaskEval],
-    report: Optional[Any] = None,
+    result: Optional[JobResult] = None,
 ) -> ConfigPoint:
     baseline = baselines[task.benchmark].metrics
     metrics = evaluation.metrics
@@ -381,7 +390,10 @@ def _point(
         speedup=metrics.speedup_over(baseline),
         utilization=metrics.utilization,
         energy_uj=evaluation.energy_uj,
-        verify_report=report,
+        verify_report=None if result is None else result.verify_report,
+        cache_memory_hits=0 if result is None else result.cache_memory_hits,
+        cache_store_hits=0 if result is None else result.cache_store_hits,
+        cache_misses=0 if result is None else result.cache_misses,
     )
 
 
@@ -412,6 +424,11 @@ def assemble_sweep_results(
                 baseline=point.metrics,
                 baseline_energy_uj=point.energy_uj,
                 baseline_verify_report=point.verify_report,
+                baseline_cache=(
+                    point.cache_memory_hits,
+                    point.cache_store_hits,
+                    point.cache_misses,
+                ),
             )
         else:
             results[point.benchmark].points.append(point)

@@ -20,6 +20,11 @@ Subcommands
     Run the unified static verifier (``repro.verify``) over a saved
     ``CompiledModel`` artifact and print the diagnostics (text or
     JSON); the exit code reflects the worst severity found.
+``cache``
+    Inspect and maintain the persistent artifact store: ``stats``,
+    ``gc --max-bytes``, ``clear``, and ``path``.  ``schedule`` and
+    ``sweep`` accept ``--store [PATH]`` to compile against a store, so
+    repeated CLI invocations reuse every unchanged pipeline stage.
 
 The CLI installs under two names — ``clsa-cim`` (historical) and
 ``repro`` — with identical behaviour; ``--version`` prints the
@@ -95,6 +100,26 @@ def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
              "accepted; default: process when --jobs asks for "
              "parallelism, else inline)",
     )
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--store`` knob of ``schedule`` and ``sweep``."""
+    parser.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="PATH",
+        help="compile against a persistent artifact store at PATH "
+             "(bare --store uses $REPRO_STORE_PATH, else "
+             "$XDG_CACHE_HOME/clsa-cim-repro/store); unchanged "
+             "pipeline stages are served from disk across invocations",
+    )
+
+
+def _store_kwargs(args: argparse.Namespace) -> dict:
+    """Session store kwargs from the parsed ``--store`` value."""
+    if getattr(args, "store", None) is None:
+        return {}
+    if args.store == "":
+        return {"store": True}
+    return {"store_path": args.store}
 
 
 def _package_version() -> str:
@@ -194,6 +219,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the compiled model's artifact JSON to PATH "
              "(reload with 'repro verify PATH' or ir.load_compiled)",
     )
+    _add_store_flag(schedule)
 
     sweep = sub.add_parser("sweep", help="run the paper's configuration grid")
     sweep.add_argument(
@@ -226,6 +252,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="run the static verifier on every grid cell and print a "
              "per-point summary after the sweep (exit 1 on any error)",
+    )
+    _add_store_flag(sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/maintain the persistent artifact store"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "gc", "clear", "path"),
+        help="stats: entry counts and bytes per stage; gc: evict "
+             "least-recently-used entries down to --max-bytes; clear: "
+             "drop every entry; path: print the resolved store path",
+    )
+    cache.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="store location (default $REPRO_STORE_PATH, else "
+             "$XDG_CACHE_HOME/clsa-cim-repro/store)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: evict oldest entries until the store fits N bytes",
+    )
+    cache.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format (default text)",
     )
 
     verify = sub.add_parser(
@@ -326,7 +376,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         d_max_cap=args.d_max_cap,
         engine=args.engine,
     )
-    session = Session(arch)
+    session = Session(arch, **_store_kwargs(args))
     compiled = session.compile(canonical, options, assume_canonical=True)
     metrics = compiled.evaluate()
 
@@ -366,6 +416,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             ("total", f"{sum(compiled.timings.values()) * 1e3:.2f} ms")
         )
         print(format_table(["Pass", "Wall clock"], timing_rows))
+        cache = session.cache
+        if cache is not None:
+            print(
+                f"cache: memory={cache.memory_hits} "
+                f"store={cache.store_hits} miss={cache.misses}"
+            )
     if args.gantt:
         print()
         print(compiled.gantt())
@@ -420,7 +476,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     overrides = None
     if args.rows_per_set != 1:
         overrides = {"granularity": SetGranularity(rows_per_set=args.rows_per_set)}
-    session = Session(paper_case_study(1), cache=not args.no_cache)
+    if args.no_cache and args.store is not None:
+        print("sweep: --store requires the compilation cache "
+              "(drop --no-cache)", file=sys.stderr)
+        return 2
+    session = Session(
+        paper_case_study(1), cache=not args.no_cache, **_store_kwargs(args)
+    )
     results = session.sweep(
         list(args.models),
         xs=tuple(args.xs),
@@ -462,6 +524,72 @@ def _print_sweep_verify(results) -> bool:
                 print(f"  {diag.format()}")
             failed = failed or not report.ok
     return failed
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .store import ArtifactStore, default_store_path
+
+    path = args.store if args.store is not None else default_store_path()
+    if args.action == "path":
+        print(path)
+        return 0
+    try:
+        store = ArtifactStore(path)
+    except OSError as exc:
+        print(f"cache: cannot open store at {path}: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        stats = store.stats()
+        if args.format == "json":
+            print(_json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        else:
+            rows = [
+                ("path", str(stats.root)),
+                ("schema", str(stats.schema)),
+                ("entries", str(stats.entries)),
+                ("total bytes", str(stats.total_bytes)),
+                ("quarantined", str(stats.quarantined)),
+            ]
+            rows += [
+                (f"stage {stage}", f"{count} entries, {size} bytes")
+                for stage, (count, size) in sorted(stats.per_stage.items())
+            ]
+            print(format_table(["Field", "Value"], rows))
+        return 0
+    if args.action == "gc":
+        result = store.gc(max_bytes=args.max_bytes)
+        if args.format == "json":
+            print(
+                _json.dumps(
+                    {
+                        "evicted_entries": result.evicted_entries,
+                        "evicted_bytes": result.evicted_bytes,
+                        "remaining_entries": result.remaining_entries,
+                        "remaining_bytes": result.remaining_bytes,
+                        "swept_tmp": result.swept_tmp,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(
+                f"evicted {result.evicted_entries} entries "
+                f"({result.evicted_bytes} bytes); "
+                f"{result.remaining_entries} entries "
+                f"({result.remaining_bytes} bytes) remain"
+            )
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        if args.format == "json":
+            print(_json.dumps({"removed": removed}))
+        else:
+            print(f"removed {removed} entries from {store.root}")
+        return 0
+    raise AssertionError(f"unhandled action {args.action!r}")  # pragma: no cover
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -536,6 +664,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "explore":
         return _cmd_explore(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

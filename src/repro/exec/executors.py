@@ -200,13 +200,19 @@ class ProcessExecutor:
         self._pool: Optional[futures.ProcessPoolExecutor] = None
         self._shipped: Optional[dict[str, Graph]] = None
         self._use_cache: Optional[bool] = None
+        self._store_path: Optional[str] = None
 
     @property
     def pool(self) -> Optional[futures.ProcessPoolExecutor]:
         """The live worker pool (``None`` before :meth:`prepare`)."""
         return self._pool
 
-    def prepare(self, graphs: Mapping[str, Graph], use_cache: bool = True) -> None:
+    def prepare(
+        self,
+        graphs: Mapping[str, Graph],
+        use_cache: bool = True,
+        store_path: Optional[str] = None,
+    ) -> None:
         """Make sure a pool exists with ``graphs`` shipped to every worker.
 
         The live pool is reused whenever every wanted graph is already
@@ -225,6 +231,7 @@ class ProcessExecutor:
         if (
             self._pool is not None
             and self._use_cache == use_cache
+            and self._store_path == store_path
             and self._shipped is not None
             and all(
                 name in self._shipped and self._shipped[name] is graph
@@ -244,12 +251,13 @@ class ProcessExecutor:
             self._pool = futures.ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=init_worker,
-                initargs=(payload, use_cache),
+                initargs=(payload, use_cache, store_path),
             )
         except (OSError, ValueError, RuntimeError) as exc:
             raise ExecutorUnavailable(str(exc)) from exc
         self._shipped = merged
         self._use_cache = use_cache
+        self._store_path = store_path
 
     def _retire(self) -> None:
         """Let the old pool drain queued work in the background."""
@@ -279,6 +287,7 @@ class ProcessExecutor:
         self._pool = None
         self._shipped = None
         self._use_cache = None
+        self._store_path = None
 
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
         if self._pool is not None:
@@ -286,6 +295,7 @@ class ProcessExecutor:
         self._pool = None
         self._shipped = None
         self._use_cache = None
+        self._store_path = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:

@@ -191,11 +191,16 @@ class JobResult:
     point, exploration result); ``timings`` and ``diagnostics`` come
     from the :class:`~repro.core.passes.CompilationContext` that
     produced it, and ``cache_hits``/``cache_misses`` are the
-    compilation-cache counter deltas observed around this job.  The
-    deltas are exact on the ``inline`` and ``process`` backends; on
-    the ``thread`` backend concurrent jobs share one cache, so a
-    job's delta may include a neighbour's traffic (values and
-    ``value`` itself are unaffected).  When the runtime runs in
+    compilation-cache counter deltas observed around this job.
+    ``cache_hits`` counts both tiers; ``cache_store_hits`` is the
+    share served from the persistent artifact store (zero without
+    one), and ``cache_stages`` breaks the delta down per pipeline
+    stage as ``(memory_hits, store_hits, misses)`` triples — a warm
+    disk recompile shows every stage with a store hit and zero
+    misses.  The deltas are exact on the ``inline`` and ``process``
+    backends; on the ``thread`` backend concurrent jobs share one
+    cache, so a job's delta may include a neighbour's traffic (values
+    and ``value`` itself are unaffected).  When the runtime runs in
     capturing mode a failed job yields ``error`` set and ``value``
     ``None`` instead of raising.
     """
@@ -210,6 +215,17 @@ class JobResult:
     #: :class:`repro.verify.VerifyReport` when the job requested
     #: verification (``verify=True``), else ``None``.
     verify_report: Optional[Any] = None
+    #: Hits served by the persistent artifact store (subset of
+    #: ``cache_hits``).
+    cache_store_hits: int = 0
+    #: Per-stage ``(memory_hits, store_hits, misses)`` deltas; stages
+    #: with all-zero deltas are omitted.
+    cache_stages: Mapping[str, Tuple[int, int, int]] = field(default_factory=dict)
+
+    @property
+    def cache_memory_hits(self) -> int:
+        """Hits served by the in-memory tier (``cache_hits`` minus store)."""
+        return self.cache_hits - self.cache_store_hits
 
     @property
     def ok(self) -> bool:

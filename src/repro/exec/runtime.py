@@ -28,8 +28,11 @@ import traceback as _traceback
 import warnings
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import replace
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field as dc_field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from ..store.disk import ArtifactStore
 
 from ..arch.config import ArchitectureConfig
 from ..core.cache import CompilationCache
@@ -94,7 +97,7 @@ def execute_job(
     """
     key = job_key(job)
     try:
-        value, timings, diagnostics, hits, misses, verify_report = _run_atomic(
+        value, timings, diagnostics, delta, verify_report = _run_atomic(
             job, cache, pass_manager, hooks
         )
         return JobResult(
@@ -102,8 +105,10 @@ def execute_job(
             value=value,
             timings=timings,
             diagnostics=tuple(diagnostics),
-            cache_hits=hits,
-            cache_misses=misses,
+            cache_hits=delta.hits,
+            cache_misses=delta.misses,
+            cache_store_hits=delta.store_hits,
+            cache_stages=delta.stages,
             verify_report=verify_report,
         )
     except Exception as exc:
@@ -119,12 +124,42 @@ def execute_job(
         )
 
 
+@dataclass(frozen=True)
+class _CacheDelta:
+    """Cache-counter movement observed around one job."""
+
+    hits: int = 0
+    store_hits: int = 0
+    misses: int = 0
+    stages: dict[str, tuple[int, int, int]] = dc_field(default_factory=dict)
+
+
+def _cache_delta(
+    before: Mapping[str, tuple[int, int, int]],
+    after: Mapping[str, tuple[int, int, int]],
+) -> _CacheDelta:
+    """Per-stage ``(memory, store, miss)`` movement between snapshots."""
+    stages: dict[str, tuple[int, int, int]] = {}
+    memory = store = misses = 0
+    for stage, (mem1, sto1, mis1) in after.items():
+        mem0, sto0, mis0 = before.get(stage, (0, 0, 0))
+        delta = (max(0, mem1 - mem0), max(0, sto1 - sto0), max(0, mis1 - mis0))
+        if any(delta):
+            stages[stage] = delta
+            memory += delta[0]
+            store += delta[1]
+            misses += delta[2]
+    return _CacheDelta(
+        hits=memory + store, store_hits=store, misses=misses, stages=stages
+    )
+
+
 def _run_atomic(
     job: Job,
     cache: Optional[CompilationCache],
     pass_manager: Any,
     hooks: Sequence[Any],
-) -> tuple[Any, dict[str, float], list[str], int, int, Any]:
+) -> tuple[Any, dict[str, float], list[str], _CacheDelta, Any]:
     from ..session import Session  # runtime import: session imports this module
 
     if not isinstance(job, (CompileJob, EvaluateJob)):
@@ -141,8 +176,7 @@ def _run_atomic(
             f"job {job_key(job)!r} names no architecture; submit it through "
             "a Session (which supplies its own) or set job.arch"
         )
-    hits0 = cache.hits if cache is not None else 0
-    misses0 = cache.misses if cache is not None else 0
+    before = cache.stats_snapshot() if cache is not None else {}
     session = Session(
         job.arch,
         cache=cache if cache is not None else False,
@@ -163,14 +197,12 @@ def _run_atomic(
         from ..verify.engine import verify_compiled
 
         verify_report = verify_compiled(compiled)
-    hits = max(0, (cache.hits if cache is not None else 0) - hits0)
-    misses = max(0, (cache.misses if cache is not None else 0) - misses0)
+    after = cache.stats_snapshot() if cache is not None else {}
     return (
         value,
         dict(compiled.timings),
         list(compiled.diagnostics),
-        hits,
-        misses,
+        _cache_delta(before, after),
         verify_report,
     )
 
@@ -200,6 +232,12 @@ class JobRuntime:
         Compilation-cache policy: disabled, one shared cache, or (the
         default) one private cache per graph name.  Process workers
         always hold per-process caches.
+    store:
+        Optional persistent :class:`~repro.store.disk.ArtifactStore`
+        layered under every cache this runtime creates (and attached
+        to a provided shared ``cache``).  Its path ships through the
+        process-pool initializer, so pool workers read and write the
+        same store instead of starting cold.
     pass_manager / hooks:
         Applied to every compiled job.  Both work on the ``inline``
         and ``thread`` backends; on ``process`` they force inline
@@ -219,6 +257,7 @@ class JobRuntime:
         jobs: Optional[int] = None,
         use_cache: bool = True,
         cache: Optional[CompilationCache] = None,
+        store: Optional["ArtifactStore"] = None,
         pass_manager: Any = None,
         hooks: Sequence[Any] = (),
         arch: Optional[ArchitectureConfig] = None,
@@ -229,6 +268,9 @@ class JobRuntime:
         self.owns_executor = executor is None or isinstance(executor, str)
         self.use_cache = use_cache
         self._shared_cache = cache
+        self.store = store if store is not None else getattr(cache, "store", None)
+        if cache is not None and store is not None:
+            cache.attach_store(store)
         self._caches: dict[str, CompilationCache] = {}
         self.pass_manager = pass_manager
         self.hooks: tuple[Any, ...] = tuple(hooks)
@@ -248,7 +290,9 @@ class JobRuntime:
             return None
         if self._shared_cache is not None:
             return self._shared_cache
-        return self._caches.setdefault(name or DIRECT, CompilationCache())
+        return self._caches.setdefault(
+            name or DIRECT, CompilationCache(store=self.store)
+        )
 
     # -- preparation ---------------------------------------------------
 
@@ -451,7 +495,15 @@ class JobRuntime:
         referenced = {name for _key, name, _job in pending if name is not None}
         assert graphs is not None or not referenced
         payload = {name: graphs[name] for name in referenced} if graphs else {}
-        prepare(payload, self.use_cache)
+        if self.store is None:
+            prepare(payload, self.use_cache)
+            return
+        try:
+            prepare(payload, self.use_cache, self.store.root)
+        except TypeError:
+            # Third-party executor predating the store_path parameter:
+            # workers run without the persistent tier.
+            prepare(payload, self.use_cache)
 
     def _pooled(
         self,

@@ -28,11 +28,37 @@ DIRECT = "__direct__"
 _STATE: Dict[str, Any] = {}
 
 
-def init_worker(payload: Dict[str, str], use_cache: bool) -> None:
-    """Pool initializer: stash serialized graphs and the cache policy."""
+def init_worker(
+    payload: Dict[str, str], use_cache: bool, store_path: Optional[str] = None
+) -> None:
+    """Pool initializer: stash serialized graphs, cache policy, store path.
+
+    ``store_path`` (when caching is on) names the driver's persistent
+    artifact store; every worker cache in this process layers on one
+    shared :class:`~repro.store.disk.ArtifactStore` opened lazily at
+    that path, so pool workers start disk-warm instead of cold.
+    """
     _STATE["payload"] = payload
     _STATE["graphs"] = {}
     _STATE["caches"] = {} if use_cache else None
+    _STATE["store_path"] = store_path if use_cache else None
+    _STATE["store"] = None
+
+
+def _worker_store() -> Any:
+    """This process's shared artifact store (None without a path)."""
+    path = _STATE.get("store_path")
+    if path is None:
+        return None
+    if _STATE.get("store") is None:
+        from ..store.disk import ArtifactStore
+
+        try:
+            _STATE["store"] = ArtifactStore(path)
+        except OSError:
+            _STATE["store_path"] = None
+            return None
+    return _STATE["store"]
 
 
 def worker_graph(name: str) -> Graph:
@@ -50,7 +76,7 @@ def worker_cache(name: str) -> Optional[CompilationCache]:
     caches: Optional[Dict[str, CompilationCache]] = _STATE.get("caches")
     if caches is None:
         return None
-    return caches.setdefault(name, CompilationCache())
+    return caches.setdefault(name, CompilationCache(store=_worker_store()))
 
 
 def run_job(job: Job, capture: bool) -> JobResult:

@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # heavy subsystems: imported for annotations only
     from .explore.store import RunStore
     from .models.zoo import BenchmarkSpec
     from .sim.metrics import Metrics
+    from .store.disk import ArtifactStore
     from .verify.diagnostics import VerifyReport
 
 from .arch.config import ArchitectureConfig
@@ -136,6 +137,18 @@ class Session:
         or a plugin), an :class:`~repro.exec.Executor` instance, or
         ``None`` for inline execution.  Instances are externally
         owned: :meth:`close` leaves them running.
+    store:
+        Persistent artifact store layered under the compilation
+        cache: an :class:`~repro.store.disk.ArtifactStore` instance,
+        or ``True`` to open the default store (``$REPRO_STORE_PATH``,
+        else ``$XDG_CACHE_HOME/clsa-cim-repro/store``).  With a store
+        attached, stage results survive processes and sessions: a
+        fresh session recompiling an already-seen model serves every
+        stage from disk.  Requires caching (``cache`` must not be
+        disabled).  Mutually exclusive with ``store_path``.
+    store_path:
+        Filesystem path to open (or create) an artifact store at —
+        shorthand for ``store=ArtifactStore(path)``.
     """
 
     def __init__(
@@ -146,14 +159,35 @@ class Session:
         hooks: Union[Any, Sequence[Any], None] = None,
         pass_manager: Optional[PassManager] = None,
         executor: Union[Executor, str, None] = None,
+        store: Union["ArtifactStore", bool, None] = None,
+        store_path: Union[str, "PathLike[str]", None] = None,
     ) -> None:
         self.arch = arch
+        resolved_store: Optional["ArtifactStore"] = None
+        if store is not None or store_path is not None:
+            from .store.paths import resolve_store
+
+            resolved_store = resolve_store(store=store, store_path=store_path)
         if cache is True:
-            self.cache: Optional[CompilationCache] = CompilationCache()
+            self.cache: Optional[CompilationCache] = CompilationCache(
+                store=resolved_store
+            )
         elif cache is False or cache is None:
+            if resolved_store is not None:
+                raise ValueError(
+                    "a persistent store requires caching; "
+                    "pass cache=True (or a CompilationCache) with store="
+                )
             self.cache = None
         else:
             self.cache = cache
+            if resolved_store is not None:
+                self.cache.attach_store(resolved_store)
+        self.store: Optional["ArtifactStore"] = (
+            resolved_store
+            if resolved_store is not None
+            else getattr(self.cache, "store", None)
+        )
         if hooks is None:
             self.hooks: tuple[Any, ...] = ()
         elif isinstance(hooks, (list, tuple)):
@@ -189,6 +223,7 @@ class Session:
                 pass_manager=self.pass_manager if self._custom_pass_manager else None,
                 hooks=self.hooks,
                 arch=self.arch,
+                store=self.store,
             )
         return self._runtime
 
@@ -505,6 +540,7 @@ class Session:
             pass_manager=self.pass_manager if self._custom_pass_manager else None,
             hooks=self.hooks,
             arch=self.arch,
+            store=self.store,
             serial_note="sweeping serially",
         )
         return runtime, True

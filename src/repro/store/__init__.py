@@ -1,0 +1,43 @@
+"""Persistent, content-addressed artifact store (the disk cache tier).
+
+Layers under the in-memory :class:`~repro.core.cache.CompilationCache`
+as a read-through/write-through second tier: every pipeline stage a
+session compiles is published to disk, and any later process — a pool
+worker, a fresh CLI invocation, a service restart — that builds the
+same cache key is served the decoded artifact instead of recomputing
+the stage.  See :mod:`repro.store.disk` for the on-disk layout and the
+crash-safety/concurrency story, :mod:`repro.store.keys` for the
+content-address scheme, and :mod:`repro.store.codecs` for the
+per-stage serialization formats.
+
+Typical use goes through the session layer::
+
+    session = Session(arch, store_path="~/.cache/clsa-cim-repro/store")
+    session = Session(arch, store=True)   # default path / $REPRO_STORE_PATH
+
+and the ``repro cache`` CLI subcommand (``stats``, ``gc``, ``clear``,
+``path``) administers a store directory.
+"""
+
+from .codecs import CODECS, StageCodec, codec_for
+from .disk import ArtifactStore, GCResult, StoreStats
+from .keys import STORE_SCHEMA_VERSION, UnstableKeyError, encode_key, key_digest
+from .locks import FileLock
+from .paths import ENV_STORE_PATH, default_store_path, resolve_store
+
+__all__ = [
+    "ArtifactStore",
+    "CODECS",
+    "ENV_STORE_PATH",
+    "FileLock",
+    "GCResult",
+    "STORE_SCHEMA_VERSION",
+    "StageCodec",
+    "StoreStats",
+    "UnstableKeyError",
+    "codec_for",
+    "default_store_path",
+    "encode_key",
+    "key_digest",
+    "resolve_store",
+]

@@ -1,0 +1,520 @@
+"""The disk-backed, content-addressed artifact store.
+
+:class:`ArtifactStore` persists pipeline-stage results under a root
+directory::
+
+    <root>/
+      meta.json            # store format marker + schema version
+      store.lock           # advisory writer/GC lock (flock)
+      manifest.jsonl       # append-only publish journal (header first)
+      objects/<dd>/<digest>.json
+      tmp/                 # in-flight writes (unique names, fsynced)
+      quarantine/          # entries that failed integrity checks
+
+Entries are addressed by the SHA-256 of the canonically-encoded cache
+key (:func:`repro.store.keys.key_digest`) — the same
+``(stage, graph fingerprint, arch, option prefix)`` tuples the
+in-memory :class:`~repro.core.cache.CompilationCache` uses — so any
+process that builds the same key reads the same file.
+
+Crash safety and concurrency:
+
+* **Atomic publish**: entries are written to a unique file under
+  ``tmp/``, fsynced, then ``os.replace``d into ``objects/``; readers
+  can never observe a partial entry, and a writer killed mid-publish
+  leaves only tmp litter (swept by :meth:`gc`).
+* **Advisory locking**: an ``flock`` on ``store.lock`` serializes
+  publishes, manifest appends, GC, and ``clear`` between concurrent
+  writers; reads are lock-free.
+* **Integrity on read**: every entry embeds the SHA-256 of its
+  payload, verified before decoding; undecodable or mismatching
+  entries are moved to ``quarantine/`` and treated as a miss — a
+  corrupt store never crashes a compile, it recompiles.
+* **LRU + size budget**: reads touch the entry mtime; :meth:`gc`
+  evicts oldest-read entries until the store fits ``max_bytes``.
+  A store constructed with ``max_bytes`` also self-collects when
+  publishes push it past the budget.
+
+Every failure mode on the read/write path degrades to a miss — the
+store is an accelerator, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from .codecs import codec_for
+from .keys import STORE_SCHEMA_VERSION, key_digest
+from .locks import FileLock
+
+__all__ = ["ArtifactStore", "GCResult", "StoreStats"]
+
+#: Document marker of store metadata and entry files.
+STORE_FORMAT = "clsa-cim-store"
+ENTRY_FORMAT = "clsa-cim-store-entry"
+
+#: tmp files older than this (seconds) are crash litter and GC-swept.
+_TMP_MAX_AGE_S = 3600.0
+
+
+def _canonical_payload(payload: dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _payload_sha256(payload: dict[str, Any]) -> str:
+    import hashlib
+
+    return hashlib.sha256(_canonical_payload(payload)).hexdigest()
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of one :meth:`ArtifactStore.gc` run."""
+
+    evicted_entries: int
+    evicted_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+    swept_tmp: int = 0
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time summary of one store (disk state + session counters)."""
+
+    root: str
+    schema: int
+    entries: int
+    total_bytes: int
+    per_stage: dict[str, tuple[int, int]] = field(default_factory=dict)
+    quarantined: int = 0
+    #: This process's read outcomes since the store was opened.
+    session_hits: int = 0
+    session_misses: int = 0
+    session_corrupt: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (CLI ``--format json``)."""
+        return {
+            "root": self.root,
+            "schema": self.schema,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "per_stage": {
+                stage: {"entries": count, "bytes": size}
+                for stage, (count, size) in sorted(self.per_stage.items())
+            },
+            "quarantined": self.quarantined,
+            "session": {
+                "hits": self.session_hits,
+                "misses": self.session_misses,
+                "corrupt": self.session_corrupt,
+            },
+        }
+
+
+class ArtifactStore:
+    """Disk-backed second cache tier (see module docstring).
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) when missing.
+    max_bytes:
+        Optional standing size budget: publishes that push the store
+        past it trigger an automatic :meth:`gc` back under budget.
+        ``None`` (default) never self-collects — run ``repro cache gc``
+        or :meth:`gc` explicitly.
+    """
+
+    def __init__(self, root: str, *, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.root = os.path.abspath(os.fspath(root))
+        self.max_bytes = max_bytes
+        self._objects = os.path.join(self.root, "objects")
+        self._tmp = os.path.join(self.root, "tmp")
+        self._quarantine = os.path.join(self.root, "quarantine")
+        self._manifest = os.path.join(self.root, "manifest.jsonl")
+        self._lock_path = os.path.join(self.root, "store.lock")
+        for path in (self.root, self._objects, self._tmp, self._quarantine):
+            os.makedirs(path, exist_ok=True)
+        self._write_meta()
+        #: Read outcomes of this process (mirrors StageStats granularity).
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self._approx_bytes: Optional[int] = None
+        self._publish_seq = 0
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({self.root!r})"
+
+    @property
+    def path(self) -> str:
+        """The store root (alias of :attr:`root`)."""
+        return self.root
+
+    # -- layout --------------------------------------------------------
+
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self._objects, digest[:2], f"{digest}.json")
+
+    def _lock(self) -> FileLock:
+        return FileLock(self._lock_path)
+
+    def _write_meta(self) -> None:
+        meta_path = os.path.join(self.root, "meta.json")
+        record = {"format": STORE_FORMAT, "schema": STORE_SCHEMA_VERSION}
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                if json.load(handle) == record:
+                    return
+        except (OSError, ValueError):
+            pass
+        # New store, older schema, or damaged meta: stamp the current
+        # schema.  Old-schema entries are unreachable either way (the
+        # schema is folded into every digest); GC reclaims them.
+        try:
+            with self._lock():
+                with open(meta_path, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle)
+        except OSError:
+            pass
+
+    # -- read path -----------------------------------------------------
+
+    def get(self, stage: str, key: tuple[Hashable, ...]) -> tuple[bool, Any]:
+        """Look up ``key`` → ``(hit, value)``.
+
+        Never raises: unencodable keys, missing entries, I/O errors,
+        and corrupt/undecodable entries all return ``(False, None)``
+        (corrupt entries are additionally quarantined).
+        """
+        codec = codec_for(stage)
+        if codec is None:
+            return False, None
+        digest = key_digest(key, codec.version)
+        if digest is None:
+            return False, None
+        path = self._entry_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            self.misses += 1
+            return False, None
+        try:
+            record = json.loads(raw)
+            if (
+                not isinstance(record, dict)
+                or record.get("format") != ENTRY_FORMAT
+                or record.get("schema") != STORE_SCHEMA_VERSION
+                or record.get("stage") != stage
+                or record.get("codec") != codec.version
+            ):
+                raise ValueError("entry header mismatch")
+            payload = record["payload"]
+            if record.get("sha256") != _payload_sha256(payload):
+                raise ValueError("payload digest mismatch")
+            value = codec.decode(payload)
+        except Exception:
+            self._quarantine_entry(path, digest)
+            self.corrupt += 1
+            self.misses += 1
+            return False, None
+        try:
+            os.utime(path, None)  # LRU touch
+        except OSError:
+            pass
+        self.hits += 1
+        return True, value
+
+    def _quarantine_entry(self, path: str, digest: str) -> None:
+        """Move a bad entry aside so it is recompiled, not re-read."""
+        target = os.path.join(self._quarantine, f"{digest}.json")
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # -- write path ----------------------------------------------------
+
+    def put(self, stage: str, key: tuple[Hashable, ...], value: Any) -> bool:
+        """Publish ``value`` under ``key``; returns whether it is stored.
+
+        Best-effort and crash-safe: the entry is written to a unique
+        tmp file, fsynced, and atomically renamed into place under the
+        writer lock.  Unencodable keys/values and I/O failures return
+        ``False`` without raising.
+        """
+        codec = codec_for(stage)
+        if codec is None:
+            return False
+        digest = key_digest(key, codec.version)
+        if digest is None:
+            return False
+        path = self._entry_path(digest)
+        if os.path.exists(path):
+            return True
+        try:
+            payload = codec.encode(value)
+            record = {
+                "format": ENTRY_FORMAT,
+                "schema": STORE_SCHEMA_VERSION,
+                "stage": stage,
+                "codec": codec.version,
+                "sha256": _payload_sha256(payload),
+                "payload": payload,
+            }
+            # No sort_keys here: payload dicts keyed by layer name carry
+            # topological order that decoding must see again.  The
+            # integrity digest canonicalizes independently.
+            text = json.dumps(record, separators=(",", ":"))
+        except Exception:
+            return False
+        tmp_path = os.path.join(
+            self._tmp, f"{digest}.{os.getpid()}.{os.urandom(4).hex()}"
+        )
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with self._lock():
+                os.replace(tmp_path, path)
+                self._append_manifest(digest, stage, len(text))
+        except OSError:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            return False
+        self._after_publish(len(text))
+        return True
+
+    def _append_manifest(self, digest: str, stage: str, size: int) -> None:
+        """Journal one publish (caller holds the writer lock)."""
+        line = json.dumps(
+            {"digest": digest, "stage": stage, "bytes": size},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        try:
+            fresh = not os.path.exists(self._manifest)
+            with open(self._manifest, "a", encoding="utf-8") as handle:
+                if fresh:
+                    header = json.dumps(
+                        {"format": STORE_FORMAT, "schema": STORE_SCHEMA_VERSION},
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    handle.write(header + "\n")
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError:
+            pass
+
+    def _after_publish(self, size: int) -> None:
+        """Keep the running size estimate; self-collect over budget."""
+        if self.max_bytes is None:
+            return
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(s for _p, s, _m in self._scan_entries())
+        else:
+            self._approx_bytes += size
+        if self._approx_bytes > self.max_bytes:
+            self.gc(self.max_bytes)
+
+    # -- index / maintenance -------------------------------------------
+
+    def index(self) -> list[dict[str, Any]]:
+        """The journalled publishes (manifest records, torn tail tolerated)."""
+        records: list[dict[str, Any]] = []
+        try:
+            with open(self._manifest, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return records
+        for line in lines[1:]:  # skip header
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a killed writer
+            if isinstance(record, dict) and "digest" in record:
+                records.append(record)
+        return records
+
+    def _scan_entries(self) -> list[tuple[str, int, float]]:
+        """Every published entry as ``(path, size, mtime)``."""
+        entries: list[tuple[str, int, float]] = []
+        try:
+            shards = sorted(os.scandir(self._objects), key=lambda e: e.name)
+        except OSError:
+            return entries
+        for shard in shards:
+            if not shard.is_dir():
+                continue
+            try:
+                children = sorted(os.scandir(shard.path), key=lambda e: e.name)
+            except OSError:
+                continue
+            for child in children:
+                if not child.name.endswith(".json"):
+                    continue
+                try:
+                    info = child.stat()
+                except OSError:
+                    continue
+                entries.append((child.path, info.st_size, info.st_mtime))
+        return entries
+
+    def _entry_stage(self, path: str) -> str:
+        """The stage recorded in one entry (``"?"`` when unreadable)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            return str(record.get("stage", "?"))
+        except (OSError, ValueError):
+            return "?"
+
+    def stats(self) -> StoreStats:
+        """Current disk state plus this process's read counters."""
+        per_stage: dict[str, tuple[int, int]] = {}
+        total = 0
+        entries = self._scan_entries()
+        for path, size, _mtime in entries:
+            stage = self._entry_stage(path)
+            count, stage_bytes = per_stage.get(stage, (0, 0))
+            per_stage[stage] = (count + 1, stage_bytes + size)
+            total += size
+        try:
+            quarantined = len(
+                [e for e in os.scandir(self._quarantine) if e.is_file()]
+            )
+        except OSError:
+            quarantined = 0
+        return StoreStats(
+            root=self.root,
+            schema=STORE_SCHEMA_VERSION,
+            entries=len(entries),
+            total_bytes=total,
+            per_stage=per_stage,
+            quarantined=quarantined,
+            session_hits=self.hits,
+            session_misses=self.misses,
+            session_corrupt=self.corrupt,
+        )
+
+    def gc(self, max_bytes: Optional[int] = None) -> GCResult:
+        """Sweep crash litter and evict LRU entries down to ``max_bytes``.
+
+        ``max_bytes`` defaults to the store's standing budget; with
+        neither set only tmp litter is swept.  Eviction order is entry
+        mtime — reads touch entries, so this is least-recently-*used*,
+        not least-recently-written.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        import time as _time
+
+        now = _time.time()
+        with self._lock():
+            swept = 0
+            try:
+                tmp_files = list(os.scandir(self._tmp))
+            except OSError:
+                tmp_files = []
+            for entry in tmp_files:
+                try:
+                    if now - entry.stat().st_mtime >= _TMP_MAX_AGE_S:
+                        os.remove(entry.path)
+                        swept += 1
+                except OSError:
+                    pass
+            entries = self._scan_entries()
+            total = sum(size for _p, size, _m in entries)
+            evicted = 0
+            evicted_bytes = 0
+            if budget is not None and total > budget:
+                entries.sort(key=lambda item: item[2])  # oldest mtime first
+                for path, size, _mtime in entries:
+                    if total <= budget:
+                        break
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        continue
+                    total -= size
+                    evicted += 1
+                    evicted_bytes += size
+            remaining = self._scan_entries()
+            self._rewrite_manifest(remaining)
+            self._approx_bytes = sum(size for _p, size, _m in remaining)
+            return GCResult(
+                evicted_entries=evicted,
+                evicted_bytes=evicted_bytes,
+                remaining_entries=len(remaining),
+                remaining_bytes=self._approx_bytes,
+                swept_tmp=swept,
+            )
+
+    def _rewrite_manifest(self, entries: list[tuple[str, int, float]]) -> None:
+        """Compact the manifest to the surviving entries (lock held)."""
+        lines = [
+            json.dumps(
+                {"format": STORE_FORMAT, "schema": STORE_SCHEMA_VERSION},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        ]
+        for path, size, _mtime in entries:
+            digest = os.path.splitext(os.path.basename(path))[0]
+            lines.append(
+                json.dumps(
+                    {
+                        "digest": digest,
+                        "stage": self._entry_stage(path),
+                        "bytes": size,
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        tmp_path = os.path.join(self._tmp, f"manifest.{os.getpid()}")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+            os.replace(tmp_path, self._manifest)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Remove every entry (and quarantine/tmp litter); returns count."""
+        removed = 0
+        with self._lock():
+            for path, _size, _mtime in self._scan_entries():
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+            for directory in (self._quarantine, self._tmp):
+                try:
+                    children = list(os.scandir(directory))
+                except OSError:
+                    continue
+                for entry in children:
+                    try:
+                        os.remove(entry.path)
+                    except OSError:
+                        pass
+            self._rewrite_manifest([])
+            self._approx_bytes = 0
+        return removed

@@ -1,0 +1,79 @@
+"""Advisory file locking for concurrent store writers.
+
+POSIX ``flock`` on a sidecar lock file; platforms without ``fcntl``
+degrade to a no-op lock (publishing stays safe regardless — entries
+are written to a unique temp file and ``os.replace``d into place, so
+the lock only serializes manifest appends and garbage collection, it
+does not guard entry integrity).
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import IO, Optional, Type
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """Advisory exclusive lock on a lock file (reentrant-unsafe).
+
+    Usable as a context manager::
+
+        with FileLock(store_root / "store.lock"):
+            ...append to the manifest...
+
+    Blocks until the lock is granted.  The lock file itself is never
+    deleted; deleting a lock file another process holds open would
+    split future waiters onto a different inode.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[bytes]] = None
+
+    @property
+    def held(self) -> bool:
+        """Whether this object currently holds the lock."""
+        return self._handle is not None
+
+    def acquire(self) -> None:
+        """Block until the exclusive lock is granted."""
+        if self._handle is not None:
+            raise RuntimeError(f"lock {self.path!r} is already held")
+        handle = open(self.path, "a+b")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        except OSError:
+            handle.close()
+            raise
+        self._handle = handle
+
+    def release(self) -> None:
+        """Release the lock (no-op when not held)."""
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()

@@ -1,0 +1,53 @@
+"""Store path resolution: explicit path → env override → user cache dir."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .disk import ArtifactStore
+
+__all__ = ["ENV_STORE_PATH", "default_store_path", "resolve_store"]
+
+#: Environment variable overriding the default store location.
+ENV_STORE_PATH = "REPRO_STORE_PATH"
+
+
+def default_store_path() -> str:
+    """The default artifact-store directory.
+
+    ``$REPRO_STORE_PATH`` when set, else
+    ``$XDG_CACHE_HOME/clsa-cim-repro/store`` (``~/.cache`` when XDG is
+    unset).  The directory is not created here — opening an
+    :class:`~repro.store.disk.ArtifactStore` on it does that.
+    """
+    env = os.environ.get(ENV_STORE_PATH)
+    if env:
+        return os.path.abspath(env)
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    if not cache_home:
+        cache_home = os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(cache_home, "clsa-cim-repro", "store")
+
+
+def resolve_store(
+    store: Union[ArtifactStore, bool, None] = None,
+    store_path: Union[str, "os.PathLike[str]", None] = None,
+) -> Optional[ArtifactStore]:
+    """Resolve the ``store=`` / ``store_path=`` keyword pair.
+
+    ``store`` may be an :class:`ArtifactStore` instance (used as-is),
+    ``True`` (open the default path, honouring ``$REPRO_STORE_PATH``),
+    or ``None``/``False``; ``store_path`` opens a store at an explicit
+    directory.  Passing both is an error; passing neither returns
+    ``None`` (no persistent tier).
+    """
+    if store is not None and store is not False and store_path is not None:
+        raise ValueError("pass either store= or store_path=, not both")
+    if isinstance(store, ArtifactStore):
+        return store
+    if store is True:
+        return ArtifactStore(default_store_path())
+    if store_path is not None:
+        return ArtifactStore(os.fspath(store_path))
+    return None

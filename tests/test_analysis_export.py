@@ -44,7 +44,7 @@ class TestCsvExport:
     def test_values_parse(self, sweep_results):
         for line in sweep_to_csv(sweep_results).splitlines()[1:]:
             parts = line.split(",")
-            assert len(parts) == 10
+            assert len(parts) == 13
             int(parts[4])       # latency cycles
             float(parts[6])     # speedup
             float(parts[7])     # utilization

@@ -114,6 +114,12 @@ class TestSweep:
         assert len(payload[0]["points"]) == 3
 
     def test_sweep_jobs_and_no_cache_match_defaults(self, capsys):
+        def values(out):
+            # The trailing cache_* columns record provenance (memory
+            # vs. store vs. recompute), which --no-cache changes by
+            # design; the value columns must stay identical.
+            return [line.rsplit(",", 3)[0] for line in out.splitlines()]
+
         code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
                      "--format", "csv"])
         assert code == 0
@@ -121,7 +127,7 @@ class TestSweep:
         code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
                      "--format", "csv", "--jobs", "2", "--no-cache"])
         assert code == 0
-        assert capsys.readouterr().out == default_out
+        assert values(capsys.readouterr().out) == values(default_out)
 
     def test_sweep_help_documents_engine_flags(self, capsys):
         with pytest.raises(SystemExit):
@@ -290,3 +296,81 @@ class TestScheduleAnalysisFlags:
                      "--scheduling", "layer-by-layer", "--batch", "2"])
         assert code == 2
         assert "requires" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _warm(self, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--store", store])
+        assert code == 0
+        return store
+
+    def test_cache_path_prints_resolved_default(self, capsys, monkeypatch,
+                                                tmp_path):
+        monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "env"))
+        code = main(["cache", "path"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == str(tmp_path / "env")
+
+    def test_cache_stats_text(self, capsys, tmp_path):
+        store = self._warm(tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "stats", "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "stage schedule" in out
+
+    def test_cache_stats_json(self, capsys, tmp_path):
+        store = self._warm(tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "stats", "--store", store, "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] > 0
+        assert payload["schema"] == 1
+        assert "schedule" in payload["per_stage"]
+
+    def test_cache_gc_and_clear(self, capsys, tmp_path):
+        store = self._warm(tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "gc", "--store", store, "--max-bytes", "0"])
+        assert code == 0
+        assert "evicted" in capsys.readouterr().out
+        code = main(["cache", "clear", "--store", store])
+        assert code == 0
+        assert "removed" in capsys.readouterr().out
+        code = main(["cache", "stats", "--store", store, "--format", "json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_schedule_store_warm_run_reports_zero_misses(self, capsys,
+                                                         tmp_path):
+        store = self._warm(tmp_path)
+        capsys.readouterr()
+        code = main(["schedule", "--model", "tiny_sequential",
+                     "--store", store, "--timings"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss=0" in out
+        assert "store=" in out
+
+    def test_sweep_store_flag(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        for _ in range(2):
+            code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
+                         "--format", "csv", "--store", store])
+            assert code == 0
+        out = capsys.readouterr().out
+        csv = out.splitlines()
+        # Second sweep's rows: no stage recomputed anywhere.
+        warm_rows = csv[len(csv) // 2 + 1:]
+        for row in warm_rows:
+            assert row.rsplit(",", 1)[1] == "0", row  # cache_misses column
+
+    def test_sweep_store_with_no_cache_errors(self, capsys, tmp_path):
+        code = main(["sweep", "--models", "tinyyolov4", "--no-cache",
+                     "--store", str(tmp_path / "s")])
+        assert code == 2
+        assert "requires" in capsys.readouterr().err

@@ -1,0 +1,287 @@
+"""Two-tier cache integration and the incremental-invalidation contract."""
+
+import pytest
+
+from repro.arch import paper_case_study
+from repro.core import ScheduleOptions
+from repro.core.cache import (
+    CompilationCache,
+    graph_fingerprint,
+    invalidate_fingerprint,
+)
+from repro.frontend import preprocess
+from repro.mapping import minimum_pe_requirement
+from repro.models import build, tiny_sequential
+from repro.session import Session
+from repro.store import ArtifactStore
+
+
+@pytest.fixture(scope="module")
+def canonical():
+    return preprocess(tiny_sequential(), quantization=None).graph
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+def _compile(canonical, cache, options=None, extra_pes=8):
+    min_pes = minimum_pe_requirement(canonical, paper_case_study(1).crossbar)
+    session = Session(paper_case_study(min_pes + extra_pes), cache=cache)
+    return session.compile(
+        canonical, options or ScheduleOptions(), assume_canonical=True
+    )
+
+
+class TestTwoTier:
+    def test_cold_compile_populates_both_tiers(self, canonical, store):
+        cache = CompilationCache(store=store)
+        _compile(canonical, cache)
+        assert cache.misses > 0
+        assert cache.store_hits == 0
+        assert store.stats().entries >= 6  # tile..schedule published
+
+    def test_fresh_cache_against_warm_store_zero_misses(self, canonical, store):
+        warm = CompilationCache(store=store)
+        first = _compile(canonical, warm)
+        fresh = CompilationCache(store=ArtifactStore(store.root))
+        second = _compile(canonical, fresh)
+        assert fresh.misses == 0, fresh.summary()
+        assert fresh.memory_hits == 0
+        assert fresh.store_hits > 0
+        for stage, (mem, disk, miss) in fresh.stats_snapshot().items():
+            assert (mem, miss) == (0, 0), f"{stage} not disk-served"
+            assert disk == 1
+        m1, m2 = first.evaluate(), second.evaluate()
+        assert m1.latency_cycles == m2.latency_cycles
+        assert m1.utilization == m2.utilization
+
+    def test_memory_tier_still_wins_when_warm(self, canonical, store):
+        cache = CompilationCache(store=store)
+        _compile(canonical, cache)
+        before_store_hits = cache.store_hits
+        _compile(canonical, cache)
+        assert cache.store_hits == before_store_hits  # served from memory
+        assert cache.memory_hits > 0
+
+    def test_schedule_knob_change_reuses_prefix_stages(self, canonical, store):
+        warm = CompilationCache(store=store)
+        _compile(canonical, warm, ScheduleOptions())
+        fresh = CompilationCache(store=ArtifactStore(store.root))
+        _compile(canonical, fresh, ScheduleOptions(order_mode="static"))
+        snapshot = fresh.stats_snapshot()
+        # Only the schedule stage depends on order_mode.
+        assert snapshot["schedule"] == (0, 0, 1)
+        for stage in ("tile", "wdup", "place", "sets", "deps"):
+            assert snapshot[stage] == (0, 1, 0), f"{stage} recomputed"
+
+    def test_arch_change_recomputes_dependent_stages(self, canonical, store):
+        warm = CompilationCache(store=store)
+        _compile(canonical, warm, extra_pes=8)
+        fresh = CompilationCache(store=ArtifactStore(store.root))
+        _compile(canonical, fresh, extra_pes=9)
+        snapshot = fresh.stats_snapshot()
+        # Tiling depends only on the crossbar geometry, not the PE count.
+        mem, disk, miss = snapshot["tile"]
+        assert (disk, miss) == (1, 0)
+        assert snapshot["wdup"][2] == 1  # num_pes is in the wdup key
+
+    def test_summary_reports_store_share(self, canonical, store):
+        warm = CompilationCache(store=store)
+        _compile(canonical, warm)
+        fresh = CompilationCache(store=ArtifactStore(store.root))
+        _compile(canonical, fresh)
+        assert "from store" in fresh.summary()
+
+    def test_clear_keeps_store(self, canonical, store):
+        cache = CompilationCache(store=store)
+        _compile(canonical, cache)
+        cache.clear()
+        assert cache.store is store
+        _compile(canonical, cache)
+        assert cache.store_hits > 0
+
+    def test_attach_store_rules(self, store, tmp_path):
+        cache = CompilationCache()
+        cache.attach_store(None)
+        assert cache.store is None
+        cache.attach_store(store)
+        assert cache.store is store
+        cache.attach_store(store)  # same store: no-op
+        with pytest.raises(ValueError):
+            cache.attach_store(ArtifactStore(str(tmp_path / "other")))
+
+
+class TestSessionStore:
+    def test_store_path_kwarg(self, canonical, tmp_path):
+        path = str(tmp_path / "s")
+        with Session(paper_case_study(40), store_path=path) as session:
+            assert session.store is not None
+            assert session.store.root.endswith("s")
+            session.compile(canonical, assume_canonical=True)
+        with Session(paper_case_study(40), store_path=path) as session:
+            session.compile(canonical, assume_canonical=True)
+            assert session.cache.misses == 0
+            assert session.cache.store_hits > 0
+
+    def test_store_instance_kwarg(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "s"))
+        session = Session(paper_case_study(40), store=store)
+        assert session.store is store
+        assert session.cache.store is store
+
+    def test_store_true_uses_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "env-store"))
+        session = Session(paper_case_study(40), store=True)
+        assert session.store.root == str(tmp_path / "env-store")
+
+    def test_store_without_cache_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError, match="requires caching"):
+            Session(
+                paper_case_study(40),
+                cache=False,
+                store_path=str(tmp_path / "s"),
+            )
+
+    def test_store_and_store_path_mutually_exclusive(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "a"))
+        with pytest.raises(ValueError):
+            Session(
+                paper_case_study(40),
+                store=store,
+                store_path=str(tmp_path / "b"),
+            )
+
+    def test_shared_cache_gains_store(self, tmp_path):
+        cache = CompilationCache()
+        session = Session(
+            paper_case_study(40), cache=cache, store_path=str(tmp_path / "s")
+        )
+        assert cache.store is session.store
+
+    def test_job_result_reports_store_hits(self, canonical, tmp_path):
+        from repro.exec import CompileJob
+
+        path = str(tmp_path / "s")
+        opts = ScheduleOptions()
+        with Session(paper_case_study(40), store_path=path) as session:
+            session.submit(
+                CompileJob(canonical, opts, assume_canonical=True)
+            ).result()
+        with Session(paper_case_study(40), store_path=path) as session:
+            result = session.submit(
+                CompileJob(canonical, opts, assume_canonical=True)
+            ).result()
+        assert result.cache_misses == 0
+        assert result.cache_store_hits > 0
+        assert result.cache_hits == result.cache_store_hits
+        assert result.cache_memory_hits == 0
+        for stage, (mem, disk, miss) in result.cache_stages.items():
+            assert (mem, miss) == (0, 0), f"{stage} not disk-served"
+            assert disk >= 1
+
+    def test_sweep_points_carry_cache_provenance(self, canonical, tmp_path):
+        from repro.models import BenchmarkSpec
+
+        min_pes = minimum_pe_requirement(
+            canonical, paper_case_study(1).crossbar
+        )
+        spec = BenchmarkSpec(
+            "tiny_sequential",
+            canonical.shape_of(canonical.input_names()[0]).hwc,
+            base_layers=len(canonical.base_layers()),
+            min_pes=min_pes,
+        )
+        path = str(tmp_path / "s")
+        with Session(paper_case_study(1), store_path=path) as session:
+            session.sweep([spec], xs=(2,), graphs={spec.name: canonical})
+        with Session(paper_case_study(1), store_path=path) as session:
+            results = session.sweep(
+                [spec], xs=(2,), graphs={spec.name: canonical}
+            )
+        result = results[0]
+        assert result.baseline_cache is not None
+        mem, disk, miss = result.baseline_cache
+        assert miss == 0
+        assert disk > 0
+        for point in result.points:
+            assert point.cache_misses == 0
+            assert point.cache_store_hits + point.cache_memory_hits > 0
+
+
+class TestAcceptanceTinyYolo:
+    """The issue's acceptance bar, on the real tinyyolov3 benchmark."""
+
+    def test_warm_store_recompile_executes_zero_stages(self, tmp_path):
+        canonical = preprocess(build("tinyyolov3"), quantization=None).graph
+        min_pes = minimum_pe_requirement(
+            canonical, paper_case_study(1).crossbar
+        )
+        arch = paper_case_study(min_pes + 16)
+        options = ScheduleOptions()
+        path = str(tmp_path / "store")
+
+        warm = CompilationCache(store=ArtifactStore(path))
+        first = Session(arch, cache=warm).compile(
+            canonical, options, assume_canonical=True
+        )
+        # A fresh cache + fresh store handle models a fresh process.
+        fresh = CompilationCache(store=ArtifactStore(path))
+        second = Session(arch, cache=fresh).compile(
+            canonical, options, assume_canonical=True
+        )
+        assert fresh.misses == 0, fresh.summary()
+        assert fresh.store_hits > 0
+        m1, m2 = first.evaluate(), second.evaluate()
+        assert m1.latency_cycles == m2.latency_cycles
+
+        # Changing only a schedule knob reuses every earlier stage.
+        knobbed = CompilationCache(store=ArtifactStore(path))
+        Session(arch, cache=knobbed).compile(
+            canonical,
+            ScheduleOptions(order_mode="static"),
+            assume_canonical=True,
+        )
+        snapshot = knobbed.stats_snapshot()
+        assert snapshot["schedule"] == (0, 0, 1)
+        for stage in ("tile", "wdup", "place", "sets", "deps"):
+            assert snapshot[stage] == (0, 1, 0), f"{stage} recomputed"
+
+
+class TestFingerprintModuleMemo:
+    def test_memoized_per_object(self, canonical):
+        import repro.core.cache as cache_module
+
+        first = graph_fingerprint(canonical)
+        calls = []
+        original = cache_module._graph_fingerprint_uncached
+        cache_module._graph_fingerprint_uncached = lambda g: calls.append(g) or "x"
+        try:
+            assert graph_fingerprint(canonical) == first
+            assert calls == []  # memo hit, no recompute
+        finally:
+            cache_module._graph_fingerprint_uncached = original
+
+    def test_invalidate_forces_recompute(self, canonical):
+        first = graph_fingerprint(canonical)
+        invalidate_fingerprint(canonical)
+        assert graph_fingerprint(canonical) == first  # recomputed, equal
+
+    def test_distinct_objects_distinct_slots(self):
+        g1 = preprocess(tiny_sequential(), quantization=None).graph
+        g2 = preprocess(tiny_sequential(), quantization=None).graph
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+
+    def test_dead_graph_slot_evicted(self):
+        import gc
+
+        from repro.core.cache import _FINGERPRINTS
+
+        g = preprocess(tiny_sequential(), quantization=None).graph
+        graph_fingerprint(g)
+        key = id(g)
+        assert key in _FINGERPRINTS
+        del g
+        gc.collect()
+        assert key not in _FINGERPRINTS

@@ -1,0 +1,109 @@
+"""Key encoding and digesting for the persistent artifact store."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleOptions, SetGranularity
+from repro.store import (
+    STORE_SCHEMA_VERSION,
+    UnstableKeyError,
+    encode_key,
+    key_digest,
+)
+from repro.store.keys import _encode
+
+
+class TestEncode:
+    def test_scalars_pass_through(self):
+        assert _encode(None) is None
+        assert _encode(True) is True
+        assert _encode(7) == 7
+        assert _encode("tile") == "tile"
+
+    def test_floats_are_tagged_repr_exact(self):
+        assert _encode(1.0) == {"~f": "1.0"}
+        assert _encode(0.1) == {"~f": repr(0.1)}
+
+    def test_float_and_int_encode_differently(self):
+        # JSON would conflate 1 and 1.0; the tagged form must not.
+        assert _encode(1) != _encode(1.0)
+        assert key_digest(("s", 1), 1) != key_digest(("s", 1.0), 1)
+
+    def test_bool_and_int_encode_differently(self):
+        assert key_digest(("s", True), 1) != key_digest(("s", 1), 1)
+
+    def test_numpy_scalars_normalize(self):
+        assert _encode(np.int64(3)) == 3
+        assert _encode(np.float64(1.5)) == {"~f": "1.5"}
+
+    def test_tuples_and_lists_coincide(self):
+        assert _encode((1, 2)) == _encode([1, 2]) == [1, 2]
+
+    def test_dataclasses_encode_by_qualified_name_and_fields(self):
+        record = _encode(SetGranularity(rows_per_set=2))
+        assert record["~dc"].endswith("SetGranularity")
+        assert record["f"]["rows_per_set"] == 2
+
+    def test_dicts_sort_deterministically(self):
+        a = _encode({"b": 1, "a": 2})
+        b = _encode({"a": 2, "b": 1})
+        assert a == b == {"~d": [["a", 2], ["b", 1]]}
+
+    def test_frozensets_sort(self):
+        assert _encode(frozenset({"b", "a"})) == {"~s": ["a", "b"]}
+
+    def test_unencodable_raises(self):
+        with pytest.raises(UnstableKeyError):
+            _encode(object())
+
+    def test_encode_key_of_real_stage_key(self):
+        options = ScheduleOptions()
+        key = ("schedule", ("fp", 1, 2), options.granularity, "clsa-cim")
+        encoded = encode_key(key)
+        assert isinstance(encoded, list)
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        key = ("tile", ("graph", "abc"), 128)
+        assert key_digest(key, 1) == key_digest(key, 1)
+
+    def test_sensitive_to_every_component(self):
+        base = key_digest(("tile", "fp", 128), 1)
+        assert key_digest(("tile", "fp", 129), 1) != base
+        assert key_digest(("tile", "fq", 128), 1) != base
+        assert key_digest(("place", "fp", 128), 1) != base
+
+    def test_sensitive_to_codec_version(self):
+        key = ("tile", "fp", 128)
+        assert key_digest(key, 1) != key_digest(key, 2)
+
+    def test_unencodable_key_returns_none(self):
+        assert key_digest(("tile", object()), 1) is None
+
+    def test_digest_is_hex_sha256(self):
+        digest = key_digest(("preprocess", "fp"), 1)
+        assert digest is not None
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_schema_version_is_folded_in(self, monkeypatch):
+        key = ("tile", "fp", 128)
+        before = key_digest(key, 1)
+        monkeypatch.setattr(
+            "repro.store.keys.STORE_SCHEMA_VERSION", STORE_SCHEMA_VERSION + 1
+        )
+        assert key_digest(key, 1) != before
+
+    def test_dataclass_keys_digest(self):
+        options = ScheduleOptions(mapping="wdup")
+        key = ("wdup", "fp", 128, 8, options.duplication_solver, "width", None)
+        assert key_digest(key, 1) is not None
+
+    def test_equal_dataclasses_share_digest(self):
+        a = ("sets", "fp", SetGranularity(rows_per_set=2))
+        b = ("sets", "fp", SetGranularity(rows_per_set=2))
+        assert dataclasses.asdict(a[2]) == dataclasses.asdict(b[2])
+        assert key_digest(a, 1) == key_digest(b, 1)
