@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Chaos smoke: a seeded fault plan must not cost a single grid point.
+
+Runs the tinyyolov3 configuration grid (32 points: layer-by-layer
+baseline + xinf + wdup / wdup+xinf at 15 extra-PE values) over the
+process backend while a deterministic :class:`FaultPlan` SIGKILLs
+three workers mid-compile and forces one job past its wall-clock
+deadline.  The run then must satisfy the fault-tolerance acceptance
+bar:
+
+* every grid point completes — zero failures, and the sweep never
+  hangs (the watchdog reaps the deadline overrun);
+* retry provenance lands in the JSON export: every injected fault
+  shows up as a point with ``attempts > 1`` on the ``process``
+  backend;
+* an identical re-run of the same seeded plan reproduces identical
+  provenance (the ``(key, attempt, backend)`` table is byte-stable).
+
+Exits 0 on success, 1 on any violated invariant.
+
+Usage::
+
+    python benchmarks/chaos_smoke.py             # CI smoke (~seconds)
+    python benchmarks/chaos_smoke.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Session, paper_case_study  # noqa: E402
+from repro.analysis import sweep_to_json  # noqa: E402
+from repro.core import SetGranularity  # noqa: E402
+from repro.exec import FaultPlan  # noqa: E402
+from repro.frontend import preprocess  # noqa: E402
+from repro.models import build  # noqa: E402
+
+MODEL = "tinyyolov3"
+XS = tuple(range(2, 32, 2))  # 15 values -> 2 + 2*15 = 32 grid points
+JOB_TIMEOUT_S = 20.0
+
+
+def poolable_keys() -> list[str]:
+    """Grid job keys eligible for fault injection.
+
+    The layer-by-layer baseline runs driver-side (it anchors every
+    speedup and must not fail), so faults only target the pooled
+    configuration points.
+    """
+    keys = [f"{MODEL}/xinf+0"]
+    for x in XS:
+        keys.append(f"{MODEL}/wdup+{x}")
+        keys.append(f"{MODEL}/wdup+xinf+{x}")
+    return keys
+
+
+def run_once(plan: FaultPlan, jobs: int) -> dict:
+    graph = preprocess(build(MODEL), quantization=None).graph
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        session = Session(
+            paper_case_study(1),
+            cache=False,
+            retry=3,
+            job_timeout=JOB_TIMEOUT_S,
+            fault_plan=plan,
+        )
+        with session:
+            results = session.sweep(
+                [MODEL],
+                xs=XS,
+                jobs=jobs,
+                executor="process",
+                options_overrides={"granularity": SetGranularity(rows_per_set=8)},
+                graphs={MODEL: graph},
+            )
+    return json.loads(sweep_to_json(results))[0]
+
+
+def provenance(entry: dict) -> list[tuple[str, int, str]]:
+    table = [
+        (
+            "layer-by-layer+0",
+            entry["baseline"]["attempts"],
+            entry["baseline"]["backend"],
+        )
+    ]
+    for point in entry["points"]:
+        table.append(
+            (f"{point['config']}+{point['extra_pes']}",
+             point["attempts"], point["backend"])
+        )
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=20240115)
+    args = parser.parse_args(argv)
+
+    plan = FaultPlan.seeded(poolable_keys(), seed=args.seed, kills=3, sleeps=1)
+    injected = sorted(key for key, _attempt in plan.faults)
+    print(f"chaos: injecting {len(plan.faults)} faults -> {injected}")
+
+    start = time.monotonic()
+    entry = run_once(plan, args.jobs)
+    elapsed = time.monotonic() - start
+    print(f"chaos: first run finished in {elapsed:.1f}s")
+
+    failures = []
+    total = 1 + len(entry["points"])
+    if total != 2 + 2 * len(XS):
+        failures.append(f"expected {2 + 2 * len(XS)} grid points, got {total}")
+    if not entry["ok"] or entry["failures"]:
+        failures.append(f"grid points failed: {entry['failures']}")
+
+    table = provenance(entry)
+    retried = {key: (attempts, backend) for key, attempts, backend in table
+               if attempts > 1}
+    for key, _attempt in plan.faults:
+        short = key.split("/", 1)[1]
+        if short not in retried:
+            failures.append(f"injected fault on {key} left no retry provenance")
+        elif retried[short][1] != "process":
+            failures.append(
+                f"{key} retried on {retried[short][1]!r}, expected 'process'"
+            )
+
+    rerun = provenance(run_once(FaultPlan.seeded(
+        poolable_keys(), seed=args.seed, kills=3, sleeps=1), args.jobs))
+    if rerun != table:
+        failures.append("seeded re-run produced different provenance")
+    else:
+        print("chaos: seeded re-run reproduced identical provenance")
+
+    if failures:
+        for failure in failures:
+            print(f"chaos: FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"chaos: all {total} points completed "
+          f"({len(retried)} retried, provenance stable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from .sweep import (
     PAPER_XS,
     ConfigPoint,
     EvalTask,
+    FailedPoint,
     SweepExecutor,
     SweepResult,
     SweepTask,
@@ -37,6 +38,7 @@ __all__ = [
     "ConfigPoint",
     "CriticalStep",
     "EvalTask",
+    "FailedPoint",
     "PAPER_XS",
     "SweepExecutor",
     "SweepResult",

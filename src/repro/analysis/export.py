@@ -1,4 +1,12 @@
-"""Machine-readable exports of sweep results (CSV and JSON)."""
+"""Machine-readable exports of sweep results (CSV and JSON).
+
+Both exports carry execution provenance per row/point — ``attempts``
+(how many tries the cell took under the session retry policy),
+``backend`` (which executor rung produced the final result), and
+``status`` — and include grid cells that failed after exhausting the
+retry budget (``status=failed`` rows / the per-benchmark ``failures``
+list), so a fault-tolerant sweep exports its complete grid either way.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +19,8 @@ from .sweep import SweepResult
 CSV_HEADER = (
     "benchmark,config,extra_pes,label,latency_cycles,latency_ns,"
     "speedup,utilization,num_pes,energy_uj,"
-    "cache_memory_hits,cache_store_hits,cache_misses"
+    "cache_memory_hits,cache_store_hits,cache_misses,"
+    "attempts,backend,status,error"
 )
 
 
@@ -27,8 +36,14 @@ def _cache_cells(triple: Optional[tuple[int, int, int]]) -> str:
     return f"{triple[0]},{triple[1]},{triple[2]}"
 
 
+def _error_cell(text: str) -> str:
+    """One CSV-safe error cell (quoted; quotes doubled, newlines folded)."""
+    folded = text.replace("\r", " ").replace("\n", " ").replace('"', '""')
+    return f'"{folded}"'
+
+
 def sweep_to_csv(results: Sequence[SweepResult]) -> str:
-    """Flatten sweeps into CSV text (baseline rows included)."""
+    """Flatten sweeps into CSV text (baseline and failed rows included)."""
     lines = [CSV_HEADER]
     for result in results:
         baseline = result.baseline
@@ -37,7 +52,8 @@ def sweep_to_csv(results: Sequence[SweepResult]) -> str:
             f"{baseline.latency_cycles},{baseline.latency_ns:.1f},"
             f"1.0,{baseline.utilization:.6f},{baseline.num_pes},"
             f"{_energy_cell(result.baseline_energy_uj)},"
-            f"{_cache_cells(result.baseline_cache)}"
+            f"{_cache_cells(result.baseline_cache)},"
+            f"1,inline,ok,"
         )
         for point in result.points:
             metrics = point.metrics
@@ -48,7 +64,16 @@ def sweep_to_csv(results: Sequence[SweepResult]) -> str:
                 f"{point.utilization:.6f},{metrics.num_pes},"
                 f"{_energy_cell(point.energy_uj)},"
                 f"{point.cache_memory_hits},{point.cache_store_hits},"
-                f"{point.cache_misses}"
+                f"{point.cache_misses},"
+                f"{point.attempts},{point.backend},ok,"
+            )
+        for failure in result.failures:
+            error = f"{failure.error.kind}: {failure.error.message}"
+            lines.append(
+                f"{result.benchmark},{failure.config},{failure.extra_pes},"
+                f"{failure.label},,,,,,,,,,"
+                f"{failure.attempts},{failure.backend},failed,"
+                f"{_error_cell(error)}"
             )
     return "\n".join(lines)
 
@@ -67,12 +92,15 @@ def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str
             {
                 "benchmark": result.benchmark,
                 "min_pes": result.min_pes,
+                "ok": result.ok,
                 "baseline": {
                     "latency_cycles": result.baseline.latency_cycles,
                     "utilization": result.baseline.utilization,
                     "num_pes": result.baseline.num_pes,
                     "energy_uj": result.baseline_energy_uj,
                     "cache": _cache_object(result.baseline_cache),
+                    "attempts": 1,
+                    "backend": "inline",
                 },
                 "points": [
                     {
@@ -91,8 +119,24 @@ def sweep_to_json(results: Sequence[SweepResult], indent: int | None = 2) -> str
                                 point.cache_misses,
                             )
                         ),
+                        "attempts": point.attempts,
+                        "backend": point.backend,
                     }
                     for point in result.points
+                ],
+                "failures": [
+                    {
+                        "config": failure.config,
+                        "extra_pes": failure.extra_pes,
+                        "label": failure.label,
+                        "error": {
+                            "kind": failure.error.kind,
+                            "message": failure.error.message,
+                        },
+                        "attempts": failure.attempts,
+                        "backend": failure.backend,
+                    }
+                    for failure in result.failures
                 ],
             }
         )

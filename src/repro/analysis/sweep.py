@@ -40,7 +40,7 @@ from ..arch.presets import paper_case_study
 from ..core.cache import CompilationCache
 from ..core.pipeline import ScheduleOptions, preprocess_stage
 from ..exec.executors import Executor
-from ..exec.jobs import EvaluateJob, Evaluation, JobResult, SweepJob
+from ..exec.jobs import EvaluateJob, Evaluation, JobError, JobResult, SweepJob
 from ..exec.runtime import JobRuntime, execute_job, warn_deprecated
 from ..ir.graph import Graph
 from ..mapping.tiling import minimum_pe_requirement
@@ -80,6 +80,12 @@ class ConfigPoint:
     cache_memory_hits: int = field(default=0, compare=False)
     cache_store_hits: int = field(default=0, compare=False)
     cache_misses: int = field(default=0, compare=False)
+    #: Execution provenance: how many attempts this cell took and
+    #: which backend produced the final result (``inline`` / ``thread``
+    #: / ``process``).  Metadata like the ``cache_*`` fields — a point
+    #: that needed a retry equals one that ran clean.
+    attempts: int = field(default=1, compare=False)
+    backend: str = field(default="inline", compare=False)
 
     @property
     def label(self) -> str:
@@ -90,15 +96,54 @@ class ConfigPoint:
             "+xinf" if "xinf" in self.config else ""
         )
 
+    @property
+    def retried(self) -> bool:
+        """Whether this cell needed more than one attempt."""
+        return self.attempts > 1
+
+
+@dataclass(frozen=True)
+class FailedPoint:
+    """One grid cell that failed even after the retry budget.
+
+    Carries the captured :class:`~repro.exec.jobs.JobError` plus the
+    same execution provenance as a successful :class:`ConfigPoint`, so
+    exports can report every cell of the grid whether it produced
+    metrics or not.
+    """
+
+    benchmark: str
+    config: str
+    extra_pes: int
+    error: JobError
+    attempts: int = 1
+    backend: str = "inline"
+
+    @property
+    def label(self) -> str:
+        """Plot-style label of the failed cell (matches ConfigPoint)."""
+        if self.config in ("layer-by-layer", "xinf"):
+            return self.config
+        return f"{self.config.replace('+xinf', '')}+{self.extra_pes}" + (
+            "+xinf" if "xinf" in self.config else ""
+        )
+
 
 @dataclass
 class SweepResult:
-    """All configuration points of one benchmark."""
+    """All configuration points of one benchmark.
+
+    ``points`` holds the successful grid cells; ``failures`` holds the
+    cells that failed even after the retry budget (empty on a clean
+    run — check :attr:`ok` before trusting the grid to be complete).
+    """
 
     benchmark: str
     min_pes: int
     baseline: Metrics
     points: list[ConfigPoint] = field(default_factory=list)
+    #: Grid cells that failed after exhausting the retry budget.
+    failures: list[FailedPoint] = field(default_factory=list)
     #: Energy estimate of the layer-by-layer baseline, in microjoules.
     baseline_energy_uj: Optional[float] = None
     #: Static-verifier report of the baseline cell (verified sweeps only).
@@ -111,6 +156,11 @@ class SweepResult:
     baseline_cache: Optional[tuple[int, int, int]] = field(
         default=None, compare=False, repr=False
     )
+
+    @property
+    def ok(self) -> bool:
+        """Whether every grid cell of this benchmark succeeded."""
+        return not self.failures
 
     def best_speedup(self) -> ConfigPoint:
         """The point with the highest speedup."""
@@ -367,11 +417,20 @@ def stream_grid(
     for result in runtime.map_jobs(
         jobs, graphs=canonicals, ordered=ordered, capture=capture
     ):
+        task = by_key[result.key]
         if result.ok:
-            point = _point(by_key[result.key], result.value, baselines, result)
+            point = _point(task, result.value, baselines, result)
             yield _dc_replace(result, value=point)
         else:
-            yield result
+            failed = FailedPoint(
+                benchmark=task.benchmark,
+                config=task.config,
+                extra_pes=task.extra_pes,
+                error=result.error,
+                attempts=result.attempts,
+                backend=result.backend,
+            )
+            yield _dc_replace(result, value=failed)
 
 
 def _point(
@@ -394,19 +453,22 @@ def _point(
         cache_memory_hits=0 if result is None else result.cache_memory_hits,
         cache_store_hits=0 if result is None else result.cache_store_hits,
         cache_misses=0 if result is None else result.cache_misses,
+        attempts=1 if result is None else result.attempts,
+        backend="inline" if result is None else result.backend,
     )
 
 
 def assemble_sweep_results(
     specs: Sequence[BenchmarkSpec],
     xs: Sequence[int],
-    points: Iterable[ConfigPoint],
+    points: Iterable[Union[ConfigPoint, FailedPoint]],
 ) -> list[SweepResult]:
     """Fold streamed config points into per-benchmark results.
 
     Points sort into canonical grid order regardless of the completion
     order they streamed in, so parallel and serial runs assemble
-    identically.
+    identically.  :class:`FailedPoint` entries (captured per-cell
+    failures) land in ``SweepResult.failures`` instead of ``points``.
     """
     order = {
         (spec.name, task.config, task.extra_pes): index
@@ -414,8 +476,11 @@ def assemble_sweep_results(
         for index, task in enumerate(grid_tasks(spec, xs))
     }
     results: dict[str, SweepResult] = {}
+    failed: list[FailedPoint] = []
     for point in points:
-        if point.config == "layer-by-layer":
+        if isinstance(point, FailedPoint):
+            failed.append(point)
+        elif point.config == "layer-by-layer":
             results[point.benchmark] = SweepResult(
                 benchmark=point.benchmark,
                 min_pes=next(
@@ -432,8 +497,15 @@ def assemble_sweep_results(
             )
         else:
             results[point.benchmark].points.append(point)
+    for failure in failed:
+        # Baselines run driver-side and always raise on failure, so a
+        # FailedPoint's benchmark is guaranteed to have a SweepResult.
+        results[failure.benchmark].failures.append(failure)
     for result in results.values():
         result.points.sort(
+            key=lambda p: order[(p.benchmark, p.config, p.extra_pes)]
+        )
+        result.failures.sort(
             key=lambda p: order[(p.benchmark, p.config, p.extra_pes)]
         )
     return [results[spec.name] for spec in specs]
@@ -446,12 +518,16 @@ def run_grid(
     options_overrides: Optional[Mapping[str, Any]] = None,
     graphs: Optional[Mapping[str, Graph]] = None,
     verify: bool = False,
+    capture: bool = False,
 ) -> list[SweepResult]:
     """Run and assemble the grid (the engine behind ``Session.sweep``).
 
     With ``verify`` every cell runs the static verifier and its
     :class:`~repro.verify.VerifyReport` rides on the assembled points
     (``ConfigPoint.verify_report`` / ``SweepResult.baseline_verify_report``).
+    With ``capture`` a failing cell lands in ``SweepResult.failures``
+    and the remaining cells still run; without it the first failure
+    raises (the legacy-shim behavior).
     """
     stream = stream_grid(
         runtime,
@@ -460,7 +536,7 @@ def run_grid(
         options_overrides,
         graphs,
         ordered=False,
-        capture=False,
+        capture=capture,
         verify=verify,
     )
     return assemble_sweep_results(specs, xs, (r.value for r in stream))

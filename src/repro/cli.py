@@ -113,6 +113,39 @@ def _add_store_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared fault-tolerance knobs of ``schedule``/``sweep``/``explore``."""
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient job failures (worker crashes, timeouts, "
+             "broken pools) up to N extra times with exponential "
+             "backoff; deterministic compile errors never retry "
+             "(default 0 = fail on the first error)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget: process workers exceeding it "
+             "are killed and respawned, in-process jobs stop at the "
+             "next cooperative checkpoint (default: no timeout)",
+    )
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """Session fault-tolerance kwargs from the parsed flags."""
+    kwargs: dict = {}
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        if retries < 0:
+            raise SystemExit(f"--retries must be >= 0, got {retries}")
+        kwargs["retry"] = retries + 1  # N retries = N+1 attempts
+    timeout = getattr(args, "job_timeout", None)
+    if timeout is not None:
+        if timeout <= 0:
+            raise SystemExit(f"--job-timeout must be > 0, got {timeout}")
+        kwargs["job_timeout"] = timeout
+    return kwargs
+
+
 def _store_kwargs(args: argparse.Namespace) -> dict:
     """Session store kwargs from the parsed ``--store`` value."""
     if getattr(args, "store", None) is None:
@@ -220,6 +253,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "(reload with 'repro verify PATH' or ir.load_compiled)",
     )
     _add_store_flag(schedule)
+    _add_resilience_flags(schedule)
 
     sweep = sub.add_parser("sweep", help="run the paper's configuration grid")
     sweep.add_argument(
@@ -254,6 +288,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "per-point summary after the sweep (exit 1 on any error)",
     )
     _add_store_flag(sweep)
+    _add_resilience_flags(sweep)
 
     cache = sub.add_parser(
         "cache", help="inspect/maintain the persistent artifact store"
@@ -359,6 +394,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", default="text", choices=("text", "csv", "json"),
         help="frontier output format (default text)",
     )
+    _add_resilience_flags(explore)
     return parser
 
 
@@ -376,7 +412,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         d_max_cap=args.d_max_cap,
         engine=args.engine,
     )
-    session = Session(arch, **_store_kwargs(args))
+    session = Session(arch, **_store_kwargs(args), **_resilience_kwargs(args))
     compiled = session.compile(canonical, options, assume_canonical=True)
     metrics = compiled.evaluate()
 
@@ -481,7 +517,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               "(drop --no-cache)", file=sys.stderr)
         return 2
     session = Session(
-        paper_case_study(1), cache=not args.no_cache, **_store_kwargs(args)
+        paper_case_study(1),
+        cache=not args.no_cache,
+        **_store_kwargs(args),
+        **_resilience_kwargs(args),
     )
     results = session.sweep(
         list(args.models),
@@ -507,6 +546,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         failed = _print_sweep_verify(results)
         if failed:
             return 1
+    failures = [(r.benchmark, f) for r in results for f in r.failures]
+    if failures:
+        for benchmark, failure in failures:
+            print(
+                f"sweep: {benchmark}/{failure.label} failed after "
+                f"{failure.attempts} attempt(s): {failure.error.kind}: "
+                f"{failure.error.message}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -619,7 +668,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     out = args.out
     if out is None:
         out = f"explore-{args.model}-{args.strategy}.jsonl"
-    session = Session(paper_case_study(1))
+    session = Session(paper_case_study(1), **_resilience_kwargs(args))
     try:
         space = default_space(max_extra_pes=args.max_extra_pes)
         result = session.explore(

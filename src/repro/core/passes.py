@@ -520,8 +520,19 @@ class PassManager:
         A hook that raises is recorded as a context diagnostic and does
         not abort the compilation — observation must never change
         outcomes.
+
+        Compilations running under a job deadline (see
+        :func:`repro.exec.resilience.deadline_scope`) are checked
+        cooperatively between passes: a blown budget raises
+        :class:`~repro.exec.resilience.JobTimeoutError` at the next
+        pass boundary instead of wedging the worker.
         """
+        # Deferred import: repro.exec.resilience sits under the
+        # repro.exec package, whose __init__ imports this module back.
+        from ..exec.resilience import check_deadline
+
         for p in self.passes:
+            check_deadline(f"before pass '{p.name}'")
             if not _pass_applies(p, ctx):
                 ctx.note(f"skipped pass '{p.name}'")
                 continue

@@ -30,6 +30,7 @@ from .executors import (
     register_executor,
     unregister_executor,
 )
+from .faults import FaultPlan, FaultSpec, InjectedFault, TransientFault
 from .futures import JobFuture
 from .jobs import (
     CompileJob,
@@ -43,6 +44,16 @@ from .jobs import (
     SweepJob,
     job_key,
 )
+from .resilience import (
+    Deadline,
+    JobTimeoutError,
+    RetryEvent,
+    RetryPolicy,
+    WorkerCrashError,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from .runtime import (
     JobRuntime,
     execute_job,
@@ -52,11 +63,15 @@ from .runtime import (
 
 __all__ = [
     "CompileJob",
+    "Deadline",
     "EvaluateJob",
     "Evaluation",
     "Executor",
     "ExecutorUnavailable",
     "ExploreJob",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "InlineExecutor",
     "Job",
     "JobError",
@@ -64,9 +79,17 @@ __all__ = [
     "JobFuture",
     "JobResult",
     "JobRuntime",
+    "JobTimeoutError",
     "ProcessExecutor",
+    "RetryEvent",
+    "RetryPolicy",
     "SweepJob",
     "ThreadExecutor",
+    "TransientFault",
+    "WorkerCrashError",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
     "execute_job",
     "executor_names",
     "job_key",

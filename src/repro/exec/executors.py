@@ -201,17 +201,57 @@ class ProcessExecutor:
         self._shipped: Optional[dict[str, Graph]] = None
         self._use_cache: Optional[bool] = None
         self._store_path: Optional[str] = None
+        self._heartbeat_dir: Optional[str] = None
+        self._retired: list[futures.ProcessPoolExecutor] = []
 
     @property
     def pool(self) -> Optional[futures.ProcessPoolExecutor]:
         """The live worker pool (``None`` before :meth:`prepare`)."""
         return self._pool
 
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of every worker process this executor has spawned and
+        not yet released (live pool plus retired-but-draining pools)."""
+        pids: list[int] = []
+        for pool in [self._pool, *self._retired]:
+            if pool is None:
+                continue
+            processes = getattr(pool, "_processes", None) or {}
+            pids.extend(int(pid) for pid in list(processes))
+        return tuple(pids)
+
+    def kill_workers(self) -> tuple[int, ...]:
+        """SIGKILL every worker process and drop all pools.
+
+        The reap path for interrupted runs: a Ctrl-C mid-sweep must not
+        leave orphaned workers grinding through a compile the driver no
+        longer wants.  Returns the PIDs that were signalled.
+        """
+        import signal as _signal
+
+        pids = self.worker_pids()
+        for pid in pids:
+            try:
+                os.kill(pid, _signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                pass
+        for pool in [self._pool, *self._retired]:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._retired.clear()
+        self._pool = None
+        self._shipped = None
+        self._use_cache = None
+        self._store_path = None
+        self._heartbeat_dir = None
+        return pids
+
     def prepare(
         self,
         graphs: Mapping[str, Graph],
         use_cache: bool = True,
         store_path: Optional[str] = None,
+        heartbeat_dir: Optional[str] = None,
     ) -> None:
         """Make sure a pool exists with ``graphs`` shipped to every worker.
 
@@ -232,6 +272,7 @@ class ProcessExecutor:
             self._pool is not None
             and self._use_cache == use_cache
             and self._store_path == store_path
+            and self._heartbeat_dir == heartbeat_dir
             and self._shipped is not None
             and all(
                 name in self._shipped and self._shipped[name] is graph
@@ -251,18 +292,20 @@ class ProcessExecutor:
             self._pool = futures.ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=init_worker,
-                initargs=(payload, use_cache, store_path),
+                initargs=(payload, use_cache, store_path, heartbeat_dir),
             )
         except (OSError, ValueError, RuntimeError) as exc:
             raise ExecutorUnavailable(str(exc)) from exc
         self._shipped = merged
         self._use_cache = use_cache
         self._store_path = store_path
+        self._heartbeat_dir = heartbeat_dir
 
     def _retire(self) -> None:
         """Let the old pool drain queued work in the background."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=False)
+            self._retired.append(self._pool)
         self._pool = None
 
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> JobFuture:
@@ -288,14 +331,19 @@ class ProcessExecutor:
         self._shipped = None
         self._use_cache = None
         self._store_path = None
+        self._heartbeat_dir = None
 
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+        for retired in self._retired:
+            retired.shutdown(wait=wait, cancel_futures=cancel_futures)
+        self._retired.clear()
         self._pool = None
         self._shipped = None
         self._use_cache = None
         self._store_path = None
+        self._heartbeat_dir = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:

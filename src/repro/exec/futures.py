@@ -62,8 +62,28 @@ class JobFuture:
         return self.raw.running()
 
     def cancel(self) -> bool:
-        """Attempt to cancel; returns ``False`` once running/finished."""
-        return self.raw.cancel()
+        """Attempt to cancel the job; returns whether it is *actually*
+        cancelled.
+
+        ``True`` only when the underlying future reports ``CANCELLED``
+        after the attempt — the job was still queued and will never
+        run.  Anything else returns ``False``: a job that is already
+        running (including a process worker that has picked the job
+        up, or a resilient submit whose driver thread has started)
+        keeps computing and its eventual result is discarded.  Note
+        the raw ``Future.cancel`` return value alone is optimistic for
+        wrapped futures — a cached or transformed result can exist
+        even when the raw state says cancelled — so the true state is
+        re-read instead of trusted.
+        """
+        if self._result is not None:
+            return False
+        self.raw.cancel()
+        return self.raw.cancelled() and self._result is None
+
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled before it could run."""
+        return self.raw.cancelled() and self._result is None
 
     def result(self, timeout: Optional[float] = None) -> JobResult:
         """Block for (at most ``timeout`` seconds) and return the result."""

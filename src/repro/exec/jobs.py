@@ -221,11 +221,23 @@ class JobResult:
     #: Per-stage ``(memory_hits, store_hits, misses)`` deltas; stages
     #: with all-zero deltas are omitted.
     cache_stages: Mapping[str, Tuple[int, int, int]] = field(default_factory=dict)
+    #: Execution provenance: how many attempts this job consumed
+    #: (``> 1`` means it was retried) and which backend ran the final
+    #: attempt (``"inline"``, ``"thread"``, or ``"process"`` — the
+    #: degradation ladder can land a job on a lower backend than the
+    #: one requested).
+    attempts: int = 1
+    backend: str = "inline"
 
     @property
     def cache_memory_hits(self) -> int:
         """Hits served by the in-memory tier (``cache_hits`` minus store)."""
         return self.cache_hits - self.cache_store_hits
+
+    @property
+    def retried(self) -> bool:
+        """Whether this job needed more than one attempt."""
+        return self.attempts > 1
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,280 @@
+"""Retry policies, deadlines, and the failure vocabulary of the
+execution layer.
+
+Everything fault-tolerant in :mod:`repro.exec` builds on three small,
+dependency-free primitives defined here:
+
+:class:`RetryPolicy`
+    How many times a failed job may run, how long to wait between
+    attempts (exponential backoff with *deterministic* seeded jitter —
+    the delay for ``(key, attempt)`` is a pure function, so re-running
+    a seeded fault plan reproduces the same schedule), and which
+    failures are worth retrying at all: transient faults (worker
+    crashes, timeouts, connection resets) retry, deterministic compile
+    errors fail fast — retrying a ``ValueError`` burns attempts on an
+    outcome that cannot change.
+
+:class:`Deadline`
+    Cooperative per-job wall-clock budgets.  :func:`deadline_scope`
+    installs a deadline for the current context; long-running code
+    calls :func:`check_deadline` at safe points (the pass manager
+    checks between passes) and a blown budget raises
+    :class:`JobTimeoutError`.  Cooperative checks are the whole story
+    for the ``inline`` and ``thread`` backends — threads cannot be
+    killed; the ``process`` backend additionally runs a hard watchdog
+    driver-side (see :mod:`repro.exec.runtime`) that SIGKILLs a worker
+    stuck past its deadline.
+
+:class:`RetryEvent`
+    The payload of the ``on_job_retry`` session hook: which job failed,
+    with what, and how long the runtime will back off before the next
+    attempt.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "Deadline",
+    "JobTimeoutError",
+    "RetryEvent",
+    "RetryPolicy",
+    "TRANSIENT_KINDS",
+    "WorkerCrashError",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "normalize_retry",
+]
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its wall-clock deadline (``job_timeout``)."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A process worker died while (apparently) executing this job.
+
+    Raised driver-side when a pool death is attributed to a job — and
+    recorded as the error of a job *quarantined* after killing its
+    pool twice (see :class:`repro.exec.runtime.JobRuntime`).
+    """
+
+
+#: Exception-type names classified as transient by default: failures
+#: of the execution environment, not of the job itself, so a retry may
+#: legitimately succeed.  Deterministic compile errors (``ValueError``,
+#: ``AssertionError``, ``TypeError``...) are intentionally absent —
+#: they fail identically on every attempt and must fail fast.
+TRANSIENT_KINDS = frozenset(
+    {
+        "WorkerCrashError",
+        "JobTimeoutError",
+        "BrokenProcessPool",
+        "BrokenExecutor",
+        "TransientFault",
+        "TimeoutError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionRefusedError",
+        "ConnectionAbortedError",
+        "BrokenPipeError",
+        "InterruptedError",
+        "EOFError",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how failed jobs are re-attempted.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total executions a job may consume, first try included
+        (``1`` = never retry).
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff: the wait before attempt ``n + 1`` is
+        ``base * factor**(n - 1)``, capped at ``backoff_max_s``.
+    jitter:
+        Relative jitter width in ``[0, 1)``: the backoff is scaled by
+        a factor drawn *deterministically* from ``(seed, key,
+        attempt)`` in ``[1 - jitter, 1 + jitter]``.  Jitter decorrelates
+        retry storms without sacrificing reproducibility — the same
+        seed always produces the same delays.
+    seed:
+        Jitter derivation seed.
+    retryable_kinds:
+        Exception-type names worth retrying; defaults to
+        :data:`TRANSIENT_KINDS`.  Anything else fails fast.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retryable_kinds: frozenset[str] = field(default=TRANSIENT_KINDS)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def retryable(self, kind: str) -> bool:
+        """Whether a failure of exception-type name ``kind`` may retry."""
+        return kind in self.retryable_kinds
+
+    def should_retry(self, kind: str, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) failing with
+        ``kind`` warrants another try."""
+        return attempt < self.max_attempts and self.retryable(kind)
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """The deterministic delay before re-running ``key``.
+
+        ``attempt`` is the 1-based attempt that just failed.  A pure
+        function of ``(seed, key, attempt)`` — no global RNG state, no
+        wall clock — so a seeded chaos run replays byte-identically.
+        """
+        raw = self.backoff_base_s * (self.backoff_factor ** max(0, attempt - 1))
+        raw = min(raw, self.backoff_max_s)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"{self.seed}|{key}|{attempt}".encode("utf-8")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+#: The no-retry policy resilience-unaware callers implicitly run under.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def normalize_retry(spec: Union["RetryPolicy", int, None]) -> RetryPolicy:
+    """Coerce the user-facing ``retry=`` knob into a policy.
+
+    ``None`` means no retries, an ``int`` is a ``max_attempts``
+    shorthand, and a :class:`RetryPolicy` passes through.
+    """
+    if spec is None:
+        return NO_RETRY
+    if isinstance(spec, RetryPolicy):
+        return spec
+    if isinstance(spec, bool):  # bool is an int; reject explicitly
+        raise TypeError("retry must be a RetryPolicy, an int, or None")
+    if isinstance(spec, int):
+        return RetryPolicy(max_attempts=spec)
+    raise TypeError(
+        f"retry must be a RetryPolicy, an int, or None; got {type(spec).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# cooperative deadlines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget measured against :func:`time.monotonic`."""
+
+    expires_at: float
+    seconds: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(expires_at=time.monotonic() + seconds, seconds=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`JobTimeoutError` if the budget is spent."""
+        if self.expired():
+            suffix = f" ({where})" if where else ""
+            raise JobTimeoutError(
+                f"job exceeded its {self.seconds:g}s deadline{suffix}"
+            )
+
+
+_DEADLINE: contextvars.ContextVar[Optional[Deadline]] = contextvars.ContextVar(
+    "repro_exec_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline governing the current context, if any."""
+    return _DEADLINE.get()
+
+
+def check_deadline(where: str = "") -> None:
+    """Cooperative checkpoint: raise if the current deadline expired.
+
+    A no-op without an installed deadline, so library code can call it
+    unconditionally at safe points (the pass manager checks between
+    passes).
+    """
+    deadline = _DEADLINE.get()
+    if deadline is not None:
+        deadline.check(where)
+
+
+@contextlib.contextmanager
+def deadline_scope(seconds: Optional[float]) -> Iterator[Optional[Deadline]]:
+    """Install a deadline for the duration of the ``with`` block.
+
+    ``None`` installs nothing (checks stay no-ops).  Scopes nest; the
+    innermost deadline wins, and the outer one is restored on exit.
+    """
+    if seconds is None:
+        yield None
+        return
+    deadline = Deadline.after(seconds)
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# retry observation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One retry decision, as observed by ``SessionHooks.on_job_retry``.
+
+    ``attempt`` is the 1-based attempt that just failed;
+    ``next_attempt`` the one about to run after ``backoff_s`` seconds.
+    ``error_kind``/``error_message`` describe the triggering failure,
+    and ``backend`` names the executor the job was running on.
+    """
+
+    key: str
+    attempt: int
+    next_attempt: int
+    error_kind: str
+    error_message: str
+    backoff_s: float
+    backend: str

@@ -11,11 +11,15 @@ resolves a shipped job against this state and executes it.
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import replace
 from typing import Any, Dict, Optional
 
 from ..core.cache import CompilationCache
 from ..ir.graph import Graph
+from .faults import FaultSpec
 from .jobs import Job, JobResult
 
 __all__ = ["init_worker", "run_job", "worker_cache", "worker_graph"]
@@ -29,7 +33,10 @@ _STATE: Dict[str, Any] = {}
 
 
 def init_worker(
-    payload: Dict[str, str], use_cache: bool, store_path: Optional[str] = None
+    payload: Dict[str, str],
+    use_cache: bool,
+    store_path: Optional[str] = None,
+    heartbeat_dir: Optional[str] = None,
 ) -> None:
     """Pool initializer: stash serialized graphs, cache policy, store path.
 
@@ -37,12 +44,20 @@ def init_worker(
     artifact store; every worker cache in this process layers on one
     shared :class:`~repro.store.disk.ArtifactStore` opened lazily at
     that path, so pool workers start disk-warm instead of cold.
+
+    ``heartbeat_dir`` is a driver-owned directory where this worker
+    advertises the job it is currently running (one ``<pid>.json`` per
+    worker, written at job start, removed at job end).  The driver's
+    watchdog uses it to SIGKILL the right worker on a deadline
+    overrun, and pool-death handling uses it to attribute a crash to
+    the jobs that were actually executing.
     """
     _STATE["payload"] = payload
     _STATE["graphs"] = {}
     _STATE["caches"] = {} if use_cache else None
     _STATE["store_path"] = store_path if use_cache else None
     _STATE["store"] = None
+    _STATE["heartbeat_dir"] = heartbeat_dir
 
 
 def _worker_store() -> Any:
@@ -79,13 +94,58 @@ def worker_cache(name: str) -> Optional[CompilationCache]:
     return caches.setdefault(name, CompilationCache(store=_worker_store()))
 
 
-def run_job(job: Job, capture: bool) -> JobResult:
+def _heartbeat_path() -> Optional[str]:
+    directory = _STATE.get("heartbeat_dir")
+    if directory is None:
+        return None
+    return os.path.join(directory, f"{os.getpid()}.json")
+
+
+def _heartbeat_start(key: str, attempt: int) -> None:
+    path = _heartbeat_path()
+    if path is None:
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "key": key,
+                    "attempt": attempt,
+                    "pid": os.getpid(),
+                    "started": time.time(),
+                },
+                handle,
+            )
+    except OSError:
+        pass  # heartbeats are best-effort; losing one only degrades attribution
+
+
+def _heartbeat_clear() -> None:
+    path = _heartbeat_path()
+    if path is None:
+        return
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def run_job(
+    job: Job,
+    capture: bool,
+    attempt: int = 1,
+    timeout: Optional[float] = None,
+    fault: Optional[FaultSpec] = None,
+) -> JobResult:
     """Execute one shipped job against this worker's state.
 
     String graphs matching the shipped payload resolve here (keeping
     the per-name worker cache warm); any other string is a zoo model
     name that :func:`~repro.exec.runtime.execute_job` builds inside
-    its error-capture boundary.
+    its error-capture boundary.  ``attempt``/``timeout``/``fault`` are
+    the resilience context for this execution: the attempt number for
+    provenance, the cooperative wall-clock budget, and the single
+    injected fault (if any) the driver scheduled for this attempt.
     """
     from .runtime import execute_job
 
@@ -96,4 +156,20 @@ def run_job(job: Job, capture: bool) -> JobResult:
     else:
         resolved = job
         cache = worker_cache(DIRECT)
-    return execute_job(resolved, cache=cache, capture=capture)
+    from .jobs import job_key
+
+    _heartbeat_start(job_key(job), attempt)
+    try:
+        return execute_job(
+            resolved,
+            cache=cache,
+            capture=capture,
+            timeout=timeout,
+            attempt=attempt,
+            fault=fault,
+            backend="process",
+            in_worker=True,
+            store_root=_STATE.get("store_path"),
+        )
+    finally:
+        _heartbeat_clear()

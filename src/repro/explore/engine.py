@@ -24,6 +24,7 @@ the previous run stopped.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
@@ -31,6 +32,8 @@ from ..arch.config import ArchitectureConfig
 from ..core.cache import CompilationCache
 from ..core.pipeline import preprocess_stage
 from ..exec.executors import Executor
+from ..exec.faults import FaultPlan
+from ..exec.resilience import RetryPolicy
 from ..exec.runtime import JobRuntime, warn_deprecated
 from ..ir.graph import Graph
 from .evaluator import FULL, PROXY, EvaluationResult, PointEvaluator
@@ -56,6 +59,11 @@ class ExplorationCounters:
     reused_full: int = 0
     reused_proxy: int = 0
     infeasible: int = 0
+    #: Points whose evaluation failed even after the retry budget.
+    #: They consume budget but are never journalled (a transient
+    #: failure must not poison resumed runs) and never reach the
+    #: frontier.
+    failed: int = 0
 
     @property
     def compiles(self) -> int:
@@ -70,15 +78,19 @@ class ExplorationCounters:
             + self.reused_full
             + self.reused_proxy
             + self.infeasible
+            + self.failed
         )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"evaluated {self.evaluated_full} "
             f"(+{self.evaluated_proxy} proxy) | "
             f"reused {self.reused_full} (+{self.reused_proxy} proxy) | "
             f"infeasible {self.infeasible}"
         )
+        if self.failed:
+            text += f" | failed {self.failed}"
+        return text
 
 
 @dataclass
@@ -155,6 +167,11 @@ class Explorer:
         :class:`~repro.exec.Executor` instance); defaults to
         ``process`` when ``jobs`` asks for parallelism, else
         ``inline``.
+    retry / job_timeout / fault_plan:
+        Fault-tolerance knobs forwarded to the evaluation runtime —
+        same semantics as on :class:`repro.session.Session` (retry
+        policy for transient failures, per-evaluation wall-clock
+        budget, deterministic fault injection for tests).
 
     .. deprecated::
         Constructing an :class:`Explorer` directly is deprecated (one
@@ -183,6 +200,9 @@ class Explorer:
         max_total_pes: Optional[int] = None,
         warm_start: bool = True,
         executor: Union[Executor, str, None] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        job_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
         _internal: bool = False,
     ) -> None:
         if not _internal:
@@ -217,6 +237,9 @@ class Explorer:
             use_cache=True,
             cache=self.cache,
             serial_note="evaluating serially",
+            retry=retry,
+            job_timeout=job_timeout,
+            fault_plan=fault_plan,
         )
         if isinstance(store, RunStore):
             if store.graph_fingerprint != self.evaluator.graph_fingerprint:
@@ -283,6 +306,14 @@ class Explorer:
             # (Externally-owned executor instances are left running.)
             self._runtime.shutdown()
             self.store.close()
+        if counters.failed:
+            warnings.warn(
+                f"exploration finished with {counters.failed} failed "
+                "evaluation(s); they consumed budget but were not "
+                "journalled and did not reach the frontier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return ExplorationResult(
             strategy=self.strategy_name,
             budget=self.budget,
@@ -384,6 +415,7 @@ class Explorer:
             to_compile[fingerprint] = (point, proposal.fidelity)
 
         evaluations = {}
+        crashed: dict[str, str] = {}
         if to_compile:
             jobs = [
                 evaluator.task_for(point, fidelity).to_job("explore")
@@ -393,15 +425,31 @@ class Explorer:
                 jobs,
                 graphs={"explore": evaluator.canonical},
                 ordered=False,
-                capture=False,
+                capture=True,
             ):
-                evaluations[outcome.key] = outcome.value
+                if outcome.ok:
+                    evaluations[outcome.key] = outcome.value
+                else:
+                    crashed[outcome.key] = (
+                        f"{outcome.error.kind}: {outcome.error.message}"
+                    )
 
         batch: list[EvaluationResult] = []
         emitted: set[str] = set()
         for proposal, point, fingerprint in resolved:
             fresh = fingerprint not in emitted
             emitted.add(fingerprint)
+            if fingerprint in crashed:
+                # Failed after the retry budget: consume the slot but
+                # keep it out of the journal and the frontier — a
+                # transient crash must not replay as a permanent score.
+                result = evaluator.infeasible_result(
+                    point, proposal.fidelity, [crashed[fingerprint]]
+                )
+                if fresh:
+                    counters.failed += 1
+                batch.append(result)
+                continue
             if fingerprint in evaluations:
                 result = evaluator.result_from_eval(
                     point, proposal.fidelity, evaluations[fingerprint]

@@ -43,6 +43,7 @@ a shim over the same machinery.
 from __future__ import annotations
 
 import sys
+import warnings
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -72,8 +73,10 @@ from .core.cache import CompilationCache
 from .core.passes import CompilationContext, PassManager, default_pass_manager
 from .core.pipeline import CompiledModel, ScheduleOptions
 from .exec.executors import Executor
+from .exec.faults import FaultPlan
 from .exec.futures import JobFuture
 from .exec.jobs import ExploreJob, Job, JobError, JobResult, SweepJob, job_key
+from .exec.resilience import RetryEvent, RetryPolicy
 from .exec.runtime import JobRuntime
 from .ir.graph import Graph
 
@@ -92,12 +95,19 @@ class SessionHooks:
     that flows through :meth:`Session.submit` / :meth:`Session.map`
     (composite jobs fire ``on_job_done`` once per streamed result).
 
+    ``on_job_retry(event)`` fires every time the runtime decides to
+    re-attempt a failed job, with a
+    :class:`~repro.exec.resilience.RetryEvent` describing the failed
+    attempt, the triggering error, and the backoff before the next
+    try.
+
     Exceptions raised inside a hook are caught and recorded as a
     diagnostic on the context/result being observed — user telemetry
     must never abort a compile.  Pass- and compile-level hooks cannot
-    cross a process boundary (the ``process`` executor runs such
-    sessions inline with a warning); job-level hooks always fire
-    driver-side and work with every backend.
+    cross a process boundary (the ``process`` executor degrades such
+    sessions to thread workers with a warning); job-level hooks
+    (submit/done/retry) always fire driver-side and work with every
+    backend.
     """
 
     on_pass_start: Optional[Callable[[str, CompilationContext], None]] = None
@@ -106,6 +116,7 @@ class SessionHooks:
     on_compile_end: Optional[Callable[[CompiledModel], None]] = None
     on_job_submit: Optional[Callable[[Job], None]] = None
     on_job_done: Optional[Callable[[JobResult], None]] = None
+    on_job_retry: Optional[Callable[["RetryEvent"], None]] = None
 
 
 class Session:
@@ -149,6 +160,22 @@ class Session:
     store_path:
         Filesystem path to open (or create) an artifact store at —
         shorthand for ``store=ArtifactStore(path)``.
+    retry:
+        Fault-tolerance policy for submitted jobs: a
+        :class:`~repro.exec.resilience.RetryPolicy`, an ``int``
+        (shorthand for that many attempts with default backoff), or
+        ``None`` to fail on the first error.  Only transient failures
+        (worker crashes, timeouts, broken pools) are retried —
+        deterministic compile errors fail fast regardless of budget.
+    job_timeout:
+        Per-job wall-clock budget in seconds.  Process workers that
+        blow the budget are SIGKILLed and respawned; thread/inline
+        jobs observe the deadline cooperatively between passes.
+        Combined with ``retry``, a timed-out job is re-attempted.
+    fault_plan:
+        A :class:`~repro.exec.faults.FaultPlan` injecting
+        deterministic failures keyed by ``(job key, attempt)`` —
+        testing/CI chaos harness, not for production use.
     """
 
     def __init__(
@@ -161,6 +188,9 @@ class Session:
         executor: Union[Executor, str, None] = None,
         store: Union["ArtifactStore", bool, None] = None,
         store_path: Union[str, "PathLike[str]", None] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        job_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.arch = arch
         resolved_store: Optional["ArtifactStore"] = None
@@ -197,6 +227,9 @@ class Session:
         self._custom_pass_manager = pass_manager is not None
         self.pass_manager = pass_manager if pass_manager is not None else default_pass_manager()
         self._executor_spec = executor
+        self._retry = retry
+        self._job_timeout = job_timeout
+        self._fault_plan = fault_plan
         self._runtime: Optional[JobRuntime] = None
         self._job_counter = 0
 
@@ -224,13 +257,21 @@ class Session:
                 hooks=self.hooks,
                 arch=self.arch,
                 store=self.store,
+                retry=self._retry,
+                job_timeout=self._job_timeout,
+                fault_plan=self._fault_plan,
             )
         return self._runtime
 
     def close(self) -> None:
-        """Release pooled executor resources (owned backends only)."""
+        """Release pooled executor resources (owned backends only).
+
+        Reaps any still-live pool workers (SIGKILL) before shutting
+        the pool down, so a Ctrl-C'd sweep never leaves orphaned
+        worker processes behind.
+        """
         if self._runtime is not None:
-            self._runtime.shutdown()
+            self._runtime.close()
             self._runtime = None
 
     def __enter__(self) -> "Session":
@@ -503,23 +544,39 @@ class Session:
         ``verify`` every grid cell additionally runs the static
         verifier and its report rides on the returned points
         (``ConfigPoint.verify_report``).
+
+        A grid point that fails (even after the session's retry
+        budget) does not abort the sweep: the remaining points still
+        run, the failure lands in ``SweepResult.failures``, and one
+        summary ``RuntimeWarning`` reports the count.
         """
         from .analysis.sweep import PAPER_XS, resolve_benchmarks, run_grid
 
         specs = resolve_benchmarks(benchmarks)
         runtime, transient = self._sweep_runtime(jobs, executor)
         try:
-            return run_grid(
+            results = run_grid(
                 runtime,
                 specs,
                 xs=tuple(xs) if xs is not None else PAPER_XS,
                 options_overrides=options_overrides,
                 graphs=graphs,
                 verify=verify,
+                capture=True,
             )
         finally:
             if transient:
                 runtime.shutdown()
+        failed = sum(len(r.failures) for r in results)
+        if failed:
+            total = sum(len(r.failures) + len(r.points) for r in results)
+            warnings.warn(
+                f"sweep finished with {failed}/{total} failed grid point(s); "
+                "see SweepResult.failures for details",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return results
 
     def _sweep_runtime(
         self, jobs: Optional[int], executor: Union[Executor, str, None]
@@ -542,6 +599,9 @@ class Session:
             arch=self.arch,
             store=self.store,
             serial_note="sweeping serially",
+            retry=self._retry,
+            job_timeout=self._job_timeout,
+            fault_plan=self._fault_plan,
         )
         return runtime, True
 
@@ -604,6 +664,9 @@ class Session:
             max_total_pes=max_total_pes,
             warm_start=warm_start,
             executor=executor,
+            retry=self._retry,
+            job_timeout=self._job_timeout,
+            fault_plan=self._fault_plan,
             _internal=True,
         )
         return explorer.run()

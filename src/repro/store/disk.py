@@ -417,9 +417,11 @@ class ArtifactStore:
         """Sweep crash litter and evict LRU entries down to ``max_bytes``.
 
         ``max_bytes`` defaults to the store's standing budget; with
-        neither set only tmp litter is swept.  Eviction order is entry
-        mtime — reads touch entries, so this is least-recently-*used*,
-        not least-recently-written.
+        neither set only tmp litter is swept.  Quarantined entries
+        count toward the budget and are evicted *first* (they are dead
+        weight — never read again, kept only for post-mortems); live
+        entries then evict in mtime order — reads touch entries, so
+        this is least-recently-*used*, not least-recently-written.
         """
         budget = max_bytes if max_bytes is not None else self.max_bytes
         import time as _time
@@ -439,12 +441,15 @@ class ArtifactStore:
                 except OSError:
                     pass
             entries = self._scan_entries()
+            quarantined = self._scan_quarantine()
             total = sum(size for _p, size, _m in entries)
+            total += sum(size for _p, size, _m in quarantined)
             evicted = 0
             evicted_bytes = 0
             if budget is not None and total > budget:
                 entries.sort(key=lambda item: item[2])  # oldest mtime first
-                for path, size, _mtime in entries:
+                quarantined.sort(key=lambda item: item[2])
+                for path, size, _mtime in quarantined + entries:
                     if total <= budget:
                         break
                     try:
@@ -464,6 +469,23 @@ class ArtifactStore:
                 remaining_bytes=self._approx_bytes,
                 swept_tmp=swept,
             )
+
+    def _scan_quarantine(self) -> list[tuple[str, int, float]]:
+        """Every quarantined entry as ``(path, size, mtime)``."""
+        entries: list[tuple[str, int, float]] = []
+        try:
+            files = sorted(os.scandir(self._quarantine), key=lambda e: e.name)
+        except OSError:
+            return entries
+        for entry in files:
+            try:
+                if not entry.is_file():
+                    continue
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((entry.path, stat.st_size, stat.st_mtime))
+        return entries
 
     def _rewrite_manifest(self, entries: list[tuple[str, int, float]]) -> None:
         """Compact the manifest to the surviving entries (lock held)."""

@@ -44,11 +44,14 @@ class TestCsvExport:
     def test_values_parse(self, sweep_results):
         for line in sweep_to_csv(sweep_results).splitlines()[1:]:
             parts = line.split(",")
-            assert len(parts) == 13
+            assert len(parts) == 17
             int(parts[4])       # latency cycles
             float(parts[6])     # speedup
             float(parts[7])     # utilization
             assert float(parts[9]) > 0  # energy (uJ)
+            assert int(parts[13]) >= 1  # attempts
+            assert parts[15] == "ok"    # status
+            assert parts[16] == ""      # error (clean run)
 
     def test_energy_in_json(self, sweep_results):
         payload = json.loads(sweep_to_json(sweep_results))

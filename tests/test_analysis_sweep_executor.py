@@ -144,7 +144,7 @@ class TestExecutor:
             warnings.simplefilter("always")
             result = benchmark_sweep(spec, xs=(2,), graph=graph,
                                      options_overrides=COARSE, jobs=4)
-        assert any("sweeping serially" in str(w.message) for w in caught)
+        assert any("degrading to thread workers" in str(w.message) for w in caught)
         serial = benchmark_sweep(spec, xs=(2,), graph=graph,
                                  options_overrides=COARSE, jobs=1)
         assert numbers(result) == numbers(serial)
@@ -162,7 +162,7 @@ class TestExecutor:
             warnings.simplefilter("always")
             result = benchmark_sweep(spec, xs=(2,), graph=graph,
                                      options_overrides=COARSE, jobs=4)
-        assert any("sweeping serially" in str(w.message) for w in caught)
+        assert any("degrading to thread workers" in str(w.message) for w in caught)
         serial = benchmark_sweep(spec, xs=(2,), graph=graph,
                                  options_overrides=COARSE, jobs=1)
         assert numbers(result) == numbers(serial)

@@ -115,10 +115,11 @@ class TestSweep:
 
     def test_sweep_jobs_and_no_cache_match_defaults(self, capsys):
         def values(out):
-            # The trailing cache_* columns record provenance (memory
-            # vs. store vs. recompute), which --no-cache changes by
-            # design; the value columns must stay identical.
-            return [line.rsplit(",", 3)[0] for line in out.splitlines()]
+            # The trailing cache_*/attempts/backend/status/error
+            # columns record provenance (memory vs. store vs.
+            # recompute, executor rung), which --no-cache and --jobs
+            # change by design; the value columns must stay identical.
+            return [line.rsplit(",", 7)[0] for line in out.splitlines()]
 
         code = main(["sweep", "--models", "tinyyolov4", "--xs", "4",
                      "--format", "csv"])
@@ -367,7 +368,7 @@ class TestCacheCommand:
         # Second sweep's rows: no stage recomputed anywhere.
         warm_rows = csv[len(csv) // 2 + 1:]
         for row in warm_rows:
-            assert row.rsplit(",", 1)[1] == "0", row  # cache_misses column
+            assert row.split(",")[12] == "0", row  # cache_misses column
 
     def test_sweep_store_with_no_cache_errors(self, capsys, tmp_path):
         code = main(["sweep", "--models", "tinyyolov4", "--no-cache",

@@ -360,9 +360,16 @@ class TestPointwiseIdentity:
         ordered = sorted(points, key=lambda p: (p.benchmark, p.config, p.extra_pes))
         payload = [dataclasses.asdict(p) for p in ordered]
         for row in payload:
-            # Cache provenance (memory vs. store vs. recompute) is
-            # backend-dependent by design; identity is over the values.
-            for field in ("cache_memory_hits", "cache_store_hits", "cache_misses"):
+            # Cache and execution provenance (memory vs. store vs.
+            # recompute, attempts, backend) is backend-dependent by
+            # design; identity is over the values.
+            for field in (
+                "cache_memory_hits",
+                "cache_store_hits",
+                "cache_misses",
+                "attempts",
+                "backend",
+            ):
                 row.pop(field, None)
         return json.dumps(payload, sort_keys=True, default=float).encode()
 

@@ -196,7 +196,7 @@ class TestSweepHonoursSessionCustomization:
         assert len(scheduled) == 4
         assert len(results[0].points) == 3
 
-    def test_custom_pass_manager_forces_serial_with_warning(self, canonicals):
+    def test_custom_pass_manager_degrades_to_threads_with_warning(self, canonicals):
         from repro.core.passes import default_pass_manager
         from repro.models import benchmark_by_name
 
@@ -214,7 +214,7 @@ class TestSweepHonoursSessionCustomization:
         manager = default_pass_manager()
         manager.insert_after("schedule", Probe())
         session = Session(paper_case_study(1), pass_manager=manager)
-        with pytest.warns(RuntimeWarning, match="serially"):
+        with pytest.warns(RuntimeWarning, match="degrading to thread workers"):
             results = session.sweep(
                 ["tinyyolov3"], xs=(4,), jobs=4, graphs={spec.name: graph}
             )

@@ -225,6 +225,24 @@ class TestGC:
         assert store.index() == []
         assert store.stats().entries == 0
 
+    def test_gc_counts_quarantine_toward_budget_and_evicts_it_first(
+        self, store, canonical
+    ):
+        keys = self._fill(store, canonical)
+        per_entry = store._scan_entries()[0][1]
+        # Corrupt one entry so a read sends it to quarantine/.
+        digest = key_digest(keys[0], codec_for("preprocess").version)
+        with open(store._entry_path(digest), "w") as handle:
+            handle.write("garbage")
+        assert store.get("preprocess", keys[0]) == (False, None)
+        quarantine = os.path.join(store.root, "quarantine")
+        assert len(os.listdir(quarantine)) == 1
+        # Budget covers the three live entries exactly: the quarantined
+        # file is dead weight that must be charged and evicted first.
+        result = store.gc(max_bytes=3 * per_entry)
+        assert os.listdir(quarantine) == []
+        assert result.remaining_entries == 3
+
     def test_auto_gc_with_standing_budget(self, tmp_path, canonical):
         budgeted = ArtifactStore(str(tmp_path / "b"), max_bytes=1)
         for i in range(3):
