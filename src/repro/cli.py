@@ -155,6 +155,26 @@ def _store_kwargs(args: argparse.Namespace) -> dict:
     return {"store_path": args.store}
 
 
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--server`` knob of ``schedule``/``sweep``/``explore``."""
+    parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="run the job on a compile service at URL (start one with "
+             "'repro serve'); caching, retries and timeouts apply "
+             "server-side",
+    )
+
+
+def _reject_with_server(args: argparse.Namespace, *flags: tuple) -> None:
+    """Exit when a local-only flag is combined with ``--server``."""
+    for name, value, default in flags:
+        if value != default:
+            raise SystemExit(
+                f"{args.command}: {name} is handled by the server and "
+                "cannot be combined with --server"
+            )
+
+
 def _package_version() -> str:
     """The installed distribution version (falling back to the module's).
 
@@ -254,6 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_store_flag(schedule)
     _add_resilience_flags(schedule)
+    _add_server_flag(schedule)
 
     sweep = sub.add_parser("sweep", help="run the paper's configuration grid")
     sweep.add_argument(
@@ -289,6 +310,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_store_flag(sweep)
     _add_resilience_flags(sweep)
+    _add_server_flag(sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the compile service (HTTP job queue over a shared "
+             "store and an async executor)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="port to bind (default 8787; 0 = ephemeral, printed on start)",
+    )
+    serve.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="jobs executing concurrently (0 = one per CPU; default 1; "
+             "any number may be queued)",
+    )
+    _add_store_flag(serve)
+    _add_resilience_flags(serve)
+    serve.add_argument(
+        "--result-ttl", type=float, default=3600.0, metavar="SECONDS",
+        help="seconds a finished job's result stays retrievable "
+             "(default 3600)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect/maintain the persistent artifact store"
@@ -395,6 +447,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="frontier output format (default text)",
     )
     _add_resilience_flags(explore)
+    _add_server_flag(explore)
     return parser
 
 
@@ -412,18 +465,46 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         d_max_cap=args.d_max_cap,
         engine=args.engine,
     )
-    session = Session(arch, **_store_kwargs(args), **_resilience_kwargs(args))
-    compiled = session.compile(canonical, options, assume_canonical=True)
-    metrics = compiled.evaluate()
+    baseline_options = ScheduleOptions(mapping="none", scheduling="layer-by-layer")
+    session: Optional[Session] = None
+    server_cache_line: Optional[str] = None
+    if args.server:
+        _reject_with_server(
+            args,
+            ("--store", args.store, None),
+            ("--retries", args.retries, None),
+        )
+        from .service import Client
 
-    # The baseline runs on the minimum-PE architecture; sharing the
-    # session cache reuses the canonical graph's fingerprint/tilings.
-    baseline_session = Session(paper_case_study(min_pes), cache=session.cache)
-    baseline_metrics = baseline_session.evaluate(
-        canonical,
-        ScheduleOptions(mapping="none", scheduling="layer-by-layer"),
-        assume_canonical=True,
-    )
+        client = Client(args.server)
+        compile_handle = client.compile(
+            canonical, options, arch=arch,
+            assume_canonical=True,
+            key=f"schedule-{args.model}",
+        )
+        baseline_handle = client.evaluate(
+            canonical, baseline_options, arch=paper_case_study(min_pes),
+            assume_canonical=True, want_energy=False,
+        )
+        envelope = compile_handle.result()
+        compiled = envelope.unwrap()
+        metrics = compiled.evaluate()
+        baseline_metrics = baseline_handle.result().unwrap().metrics
+        server_cache_line = (
+            f"cache (server): memory={envelope.cache_memory_hits} "
+            f"store={envelope.cache_store_hits} miss={envelope.cache_misses}"
+        )
+    else:
+        session = Session(arch, **_store_kwargs(args), **_resilience_kwargs(args))
+        compiled = session.compile(canonical, options, assume_canonical=True)
+        metrics = compiled.evaluate()
+
+        # The baseline runs on the minimum-PE architecture; sharing the
+        # session cache reuses the canonical graph's fingerprint/tilings.
+        baseline_session = Session(paper_case_study(min_pes), cache=session.cache)
+        baseline_metrics = baseline_session.evaluate(
+            canonical, baseline_options, assume_canonical=True
+        )
 
     rows = [
         ("model", args.model),
@@ -452,12 +533,14 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             ("total", f"{sum(compiled.timings.values()) * 1e3:.2f} ms")
         )
         print(format_table(["Pass", "Wall clock"], timing_rows))
-        cache = session.cache
-        if cache is not None:
+        if session is not None and session.cache is not None:
+            cache = session.cache
             print(
                 f"cache: memory={cache.memory_hits} "
                 f"store={cache.store_hits} miss={cache.misses}"
             )
+        elif server_cache_line is not None:
+            print(server_cache_line)
     if args.gantt:
         print()
         print(compiled.gantt())
@@ -496,7 +579,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         save_compiled(compiled, args.save)
         print(f"\nartifact written to {args.save}")
     if args.verify:
-        report = session.verify(compiled)
+        if session is not None:
+            report = session.verify(compiled)
+        else:
+            from .verify.engine import verify_compiled
+
+            report = verify_compiled(compiled)
         print()
         print(report.format())
         if not report.ok:
@@ -512,25 +600,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     overrides = None
     if args.rows_per_set != 1:
         overrides = {"granularity": SetGranularity(rows_per_set=args.rows_per_set)}
-    if args.no_cache and args.store is not None:
-        print("sweep: --store requires the compilation cache "
-              "(drop --no-cache)", file=sys.stderr)
-        return 2
-    session = Session(
-        paper_case_study(1),
-        cache=not args.no_cache,
-        **_store_kwargs(args),
-        **_resilience_kwargs(args),
-    )
-    results = session.sweep(
-        list(args.models),
-        xs=tuple(args.xs),
-        jobs=None if args.jobs == 0 else args.jobs,
-        executor=args.executor,
-        options_overrides=overrides,
-        graphs=graphs,
-        verify=args.verify,
-    )
+    if args.server:
+        _reject_with_server(
+            args,
+            ("--store", args.store, None),
+            ("--no-cache", args.no_cache, False),
+            ("--verify", args.verify, False),
+            ("--jobs", args.jobs, 1),
+            ("--executor", args.executor, None),
+            ("--retries", args.retries, None),
+        )
+        from .service import Client
+
+        handle = Client(args.server).sweep(
+            list(args.models),
+            xs=tuple(args.xs),
+            options_overrides=overrides,
+            graphs=graphs,
+        )
+        results = handle.result().unwrap()
+    else:
+        if args.no_cache and args.store is not None:
+            print("sweep: --store requires the compilation cache "
+                  "(drop --no-cache)", file=sys.stderr)
+            return 2
+        session = Session(
+            paper_case_study(1),
+            cache=not args.no_cache,
+            **_store_kwargs(args),
+            **_resilience_kwargs(args),
+        )
+        results = session.sweep(
+            list(args.models),
+            xs=tuple(args.xs),
+            jobs=None if args.jobs == 0 else args.jobs,
+            executor=args.executor,
+            options_overrides=overrides,
+            graphs=graphs,
+            verify=args.verify,
+        )
     if args.format == "csv":
         print(sweep_to_csv(results))
     elif args.format == "json":
@@ -556,6 +664,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import CompileServer
+
+    resilience = _resilience_kwargs(args)
+    server = CompileServer(
+        args.host,
+        args.port,
+        jobs=None if args.jobs == 0 else args.jobs,
+        retry=resilience.get("retry"),
+        job_timeout=resilience.get("job_timeout"),
+        result_ttl=args.result_ttl,
+        verbose=args.verbose,
+        **_store_kwargs(args),
+    )
+
+    def _sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("serve: draining jobs and shutting down", flush=True)
+        server.shutdown_service()
     return 0
 
 
@@ -665,6 +805,41 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from .explore import ExploreError, default_space
     from .explore.store import StoreError
 
+    if args.server:
+        _reject_with_server(
+            args,
+            ("--out", args.out, None),
+            ("--resume", args.resume, False),
+            ("--jobs", args.jobs, 1),
+            ("--executor", args.executor, None),
+            ("--retries", args.retries, None),
+        )
+        from .exec.jobs import JobFailedError
+        from .service import Client
+
+        try:
+            handle = Client(args.server).explore(
+                args.model,
+                objectives=tuple(args.objectives),
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                max_total_pes=args.max_total_pes,
+                max_extra_pes=args.max_extra_pes,
+            )
+            result = handle.result().unwrap()
+        except (JobFailedError, OSError, ValueError) as exc:
+            print(f"explore: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "csv":
+            print(frontier_to_csv(result))
+        elif args.format == "json":
+            print(frontier_to_json(result))
+        else:
+            print(result.summary())
+            print()
+            print(frontier_report(result))
+        return 0
     out = args.out
     if out is None:
         out = f"explore-{args.model}-{args.strategy}.jsonl"
@@ -715,6 +890,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "explore":
         return _cmd_explore(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -28,6 +28,7 @@ from .executors import (
     executor_names,
     make_executor,
     register_executor,
+    resolve_executor,
     unregister_executor,
 )
 from .faults import FaultPlan, FaultSpec, InjectedFault, TransientFault
@@ -96,6 +97,7 @@ __all__ = [
     "make_executor",
     "register_executor",
     "reset_deprecation_warnings",
+    "resolve_executor",
     "unregister_executor",
     "warn_deprecated",
 ]

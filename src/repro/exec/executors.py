@@ -47,6 +47,7 @@ __all__ = [
     "executor_names",
     "make_executor",
     "register_executor",
+    "resolve_executor",
 ]
 
 
@@ -406,13 +407,35 @@ def make_executor(
         try:
             factory = _EXECUTORS[spec]
         except KeyError:
+            names = ", ".join(sorted(executor_names()))
             raise KeyError(
-                f"unknown executor {spec!r}; registered: {executor_names()}"
+                f"unknown executor {spec!r}; registered backends: {names} "
+                "(plugins register via repro.exec.register_executor)"
             ) from None
         return factory(jobs)
     return spec
 
 
+#: Public alias: resolve a backend name/instance to an executor.
+resolve_executor = make_executor
+
+
+def _make_async(jobs: Optional[int]) -> Executor:
+    # Imported lazily: repro.service depends on this module.
+    from ..service.async_executor import AsyncExecutor
+
+    return AsyncExecutor(jobs)
+
+
+def _make_remote(jobs: Optional[int]) -> Executor:
+    # Reads $REPRO_SERVER_URL; raises ValueError without a server URL.
+    from ..service.client import RemoteExecutor
+
+    return RemoteExecutor(jobs=jobs)
+
+
 register_executor("inline", lambda jobs: InlineExecutor())
 register_executor("thread", lambda jobs: ThreadExecutor(jobs))
 register_executor("process", lambda jobs: ProcessExecutor(jobs))
+register_executor("async", _make_async)
+register_executor("remote", _make_remote)

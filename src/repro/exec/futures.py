@@ -10,6 +10,7 @@ on the caller's side.
 
 from __future__ import annotations
 
+import warnings
 from concurrent import futures
 from typing import Any, Callable, Optional
 
@@ -99,5 +100,29 @@ class JobFuture:
         return self.raw.exception(timeout)
 
     def add_done_callback(self, fn: Callable[["JobFuture"], None]) -> None:
-        """Call ``fn(self)`` when the underlying work completes."""
-        self.raw.add_done_callback(lambda _raw: fn(self))
+        """Call ``fn(self)`` exactly once when the underlying work completes.
+
+        Fires on completion, failure, and cancellation alike; a
+        callback added after the future already settled runs
+        immediately.  Each registered callback fires at most once, and
+        a callback that raises emits a ``RuntimeWarning`` instead of
+        propagating — a user callback must never break the executor
+        driver loop (or the caller registering it late).
+        """
+        fired = [False]
+
+        def invoke(_raw: "futures.Future[Any]") -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            try:
+                fn(self)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                warnings.warn(
+                    f"JobFuture done-callback {fn!r} raised "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+        self.raw.add_done_callback(invoke)

@@ -1,0 +1,149 @@
+"""The ``async`` executor: an asyncio event loop multiplexing jobs.
+
+One daemon thread runs an asyncio event loop; every submitted job
+becomes a coroutine that waits on an :class:`asyncio.Semaphore` (the
+concurrency limit) and then runs the job function on a small thread
+pool via ``loop.run_in_executor``.  The result is an executor that can
+hold hundreds of queued jobs with only ``jobs`` of them executing at
+once — the shape the compile service needs to multiplex many clients
+over one warm runtime.
+
+Queued jobs (still waiting on the semaphore) are cancellable: the
+coroutine checks ``set_running_or_notify_cancel`` only after acquiring
+a slot, so a cancelled future never starts executing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from concurrent import futures as cf
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..exec.executors import _map_via_submit
+from ..exec.futures import JobFuture
+
+__all__ = ["AsyncExecutor"]
+
+
+class AsyncExecutor:
+    """Asyncio-based executor satisfying the :class:`Executor` protocol.
+
+    ``jobs`` bounds how many submissions execute concurrently; any
+    number may be queued.  Like the ``thread`` backend it shares the
+    calling process's memory (``crosses_process`` is False), so hooks,
+    pass managers, and the session cache keep working.
+    """
+
+    name = "async"
+    crosses_process = False
+    parallel = True
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        self._lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._pool: Optional[cf.ThreadPoolExecutor] = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("AsyncExecutor is shut down")
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever,
+                    name="repro-async-executor",
+                    daemon=True,
+                )
+                thread.start()
+                self._loop = loop
+                self._thread = thread
+                self._semaphore = asyncio.Semaphore(self.jobs)
+                self._pool = cf.ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="repro-async-worker",
+                )
+            assert self._loop is not None
+            return self._loop
+
+    async def _run(
+        self,
+        raw: "cf.Future[Any]",
+        fn: Callable[..., Any],
+        args: Sequence[Any],
+    ) -> None:
+        semaphore, loop, pool = self._semaphore, self._loop, self._pool
+        assert semaphore is not None and loop is not None
+        try:
+            async with semaphore:
+                if not raw.set_running_or_notify_cancel():
+                    return  # cancelled while queued
+                try:
+                    result = await loop.run_in_executor(pool, lambda: fn(*args))
+                except BaseException as exc:  # noqa: BLE001 - relayed to future
+                    raw.set_exception(exc)
+                else:
+                    raw.set_result(result)
+        except asyncio.CancelledError:
+            raw.cancel()  # shutdown drain caught us still queued
+            raise
+
+    # -- Executor protocol --------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> JobFuture:
+        loop = self._ensure_loop()
+        raw: "cf.Future[Any]" = cf.Future()
+        asyncio.run_coroutine_threadsafe(self._run(raw, fn, args), loop)
+        return JobFuture(raw)
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        argslist: Sequence[Sequence[Any]],
+        *,
+        ordered: bool = True,
+    ) -> Iterator[Any]:
+        return _map_via_submit(self, fn, argslist, ordered)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop, thread, pool = self._loop, self._thread, self._pool
+            self._loop = self._thread = self._pool = None
+            self._semaphore = None
+        if loop is not None:
+            # Settle every task on the loop before stopping it: queued
+            # coroutines are cancelled (``cancel_futures`` semantics, or
+            # a non-waiting shutdown), running ones are awaited, so the
+            # loop never closes under a live semaphore waiter.
+            async def _drain() -> None:
+                current = asyncio.current_task()
+                tasks = [t for t in asyncio.all_tasks() if t is not current]
+                if cancel_futures or not wait:
+                    for task in tasks:
+                        task.cancel()
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+
+            try:
+                asyncio.run_coroutine_threadsafe(_drain(), loop).result(
+                    timeout=None if wait else 1.0
+                )
+            except (cf.TimeoutError, cf.CancelledError, RuntimeError):
+                pass  # loop already stopping, or a job outlived the grace
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=10.0 if wait else 0.5)
+                if not thread.is_alive():
+                    loop.close()
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=cancel_futures)

@@ -43,7 +43,11 @@ a shim over the same machinery.
 from __future__ import annotations
 
 import sys
+import threading
+import time
 import warnings
+from concurrent.futures import CancelledError as FuturesCancelledError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -232,6 +236,8 @@ class Session:
         self._fault_plan = fault_plan
         self._runtime: Optional[JobRuntime] = None
         self._job_counter = 0
+        self._inflight: list[JobFuture] = []
+        self._inflight_lock = threading.Lock()
 
     def __repr__(self) -> str:
         cached = "cached" if self.cache is not None else "uncached"
@@ -263,13 +269,32 @@ class Session:
             )
         return self._runtime
 
-    def close(self) -> None:
+    def close(self, grace: Optional[float] = 5.0) -> None:
         """Release pooled executor resources (owned backends only).
 
-        Reaps any still-live pool workers (SIGKILL) before shutting
-        the pool down, so a Ctrl-C'd sweep never leaves orphaned
-        worker processes behind.
+        Drain-aware and idempotent: in-flight jobs submitted through
+        :meth:`submit` get up to ``grace`` seconds to finish
+        (``grace=0`` skips the wait, ``None`` waits indefinitely);
+        whatever is still pending afterwards is cancelled.  Then any
+        still-live pool workers are reaped (SIGKILL) before the pool
+        shuts down, so a Ctrl-C'd sweep never leaves orphaned worker
+        processes behind.  A second ``close()`` is a no-op.
         """
+        with self._inflight_lock:
+            pending = [f for f in self._inflight if not f.done()]
+            self._inflight = []
+        deadline = None if grace is None else time.monotonic() + grace
+        for future in pending:
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                future.raw.exception(timeout=remaining)
+            except (FuturesTimeoutError, FuturesCancelledError):
+                pass  # still running (or already cancelled) — cancel below
+        for future in pending:
+            if not future.done():
+                future.cancel()
         if self._runtime is not None:
             self._runtime.close()
             self._runtime = None
@@ -376,6 +401,10 @@ class Session:
         future = self.runtime.submit(job)
         future.job = job
         future.add_done_callback(self._job_done_callback)
+        with self._inflight_lock:
+            # Prune settled handles so long-lived sessions stay O(live).
+            self._inflight = [f for f in self._inflight if not f.done()]
+            self._inflight.append(future)
         return future
 
     def map(

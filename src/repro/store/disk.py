@@ -91,10 +91,11 @@ class StoreStats:
     total_bytes: int
     per_stage: dict[str, tuple[int, int]] = field(default_factory=dict)
     quarantined: int = 0
-    #: This process's read outcomes since the store was opened.
+    #: This process's read/write outcomes since the store was opened.
     session_hits: int = 0
     session_misses: int = 0
     session_corrupt: int = 0
+    session_writes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible form (CLI ``--format json``)."""
@@ -112,6 +113,7 @@ class StoreStats:
                 "hits": self.session_hits,
                 "misses": self.session_misses,
                 "corrupt": self.session_corrupt,
+                "writes": self.session_writes,
             },
         }
 
@@ -143,10 +145,12 @@ class ArtifactStore:
         for path in (self.root, self._objects, self._tmp, self._quarantine):
             os.makedirs(path, exist_ok=True)
         self._write_meta()
-        #: Read outcomes of this process (mirrors StageStats granularity).
+        #: Read/write outcomes of this process (mirrors StageStats
+        #: granularity).
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.writes = 0
         self._approx_bytes: Optional[int] = None
         self._publish_seq = 0
 
@@ -297,6 +301,7 @@ class ArtifactStore:
             except OSError:
                 pass
             return False
+        self.writes += 1
         self._after_publish(len(text))
         return True
 
@@ -411,6 +416,7 @@ class ArtifactStore:
             session_hits=self.hits,
             session_misses=self.misses,
             session_corrupt=self.corrupt,
+            session_writes=self.writes,
         )
 
     def gc(self, max_bytes: Optional[int] = None) -> GCResult:

@@ -576,3 +576,120 @@ class TestSessionExecutorKnob:
                 EvaluateJob(canonical, COARSE_OPTIONS, assume_canonical=True),
                 capture=False,
             )
+
+
+class TestDoneCallbacks:
+    """JobFuture.add_done_callback fires exactly once on every outcome."""
+
+    def test_fires_once_on_completion(self):
+        calls = []
+        future = JobFuture.completed(JobResult(key="k"))
+        future.add_done_callback(calls.append)
+        assert calls == [future]
+
+    def test_fires_once_on_failure(self):
+        calls = []
+        future = JobFuture.failed(RuntimeError("boom"))
+        future.add_done_callback(calls.append)
+        assert calls == [future]
+
+    def test_fires_once_on_cancellation(self):
+        from concurrent import futures as cf
+
+        calls = []
+        raw: "cf.Future" = cf.Future()
+        future = JobFuture(raw)
+        future.add_done_callback(calls.append)
+        assert future.cancel()
+        assert calls == [future]
+
+    def test_late_added_callback_fires_immediately(self):
+        future = JobFuture.completed(JobResult(key="k"))
+        future.result()  # settled long before registration
+        calls = []
+        future.add_done_callback(calls.append)
+        future.add_done_callback(calls.append)
+        assert calls == [future, future]
+
+    def test_pending_future_defers_callback_until_result(self):
+        from concurrent import futures as cf
+
+        calls = []
+        raw: "cf.Future" = cf.Future()
+        future = JobFuture(raw)
+        future.add_done_callback(calls.append)
+        assert calls == []
+        raw.set_result(JobResult(key="k"))
+        assert calls == [future]
+
+    def test_raising_callback_warns_instead_of_propagating(self):
+        def explode(fut):
+            raise ValueError("callback boom")
+
+        future = JobFuture.completed(JobResult(key="k"))
+        with pytest.warns(RuntimeWarning, match="callback boom"):
+            future.add_done_callback(explode)
+
+    def test_raising_callback_does_not_block_others(self):
+        from concurrent import futures as cf
+
+        calls = []
+        raw: "cf.Future" = cf.Future()
+        future = JobFuture(raw)
+        future.add_done_callback(
+            lambda fut: (_ for _ in ()).throw(ValueError("boom"))
+        )
+        future.add_done_callback(calls.append)
+        with pytest.warns(RuntimeWarning, match="boom"):
+            raw.set_result(JobResult(key="k"))
+        assert calls == [future]
+
+
+class TestSessionCloseDrain:
+    """Session.close drains in-flight submissions before releasing pools."""
+
+    def test_close_waits_for_inflight_jobs(self, canonical, arch):
+        session = Session(arch, executor=ThreadExecutor(2))
+        futures = [
+            session.submit(
+                EvaluateJob(
+                    canonical, COARSE_OPTIONS, assume_canonical=True, key=f"d{i}"
+                )
+            )
+            for i in range(3)
+        ]
+        session.close()
+        assert all(f.done() for f in futures)
+        assert all(f.result(timeout=0).ok for f in futures)
+
+    def test_close_with_zero_grace_cancels_pending(self, arch):
+        class Blocker:
+            name = "blocker"
+            crosses_process = False
+            parallel = True
+
+            def submit(self, fn, /, *args):
+                from concurrent import futures as cf
+
+                raw: "cf.Future" = cf.Future()
+                return JobFuture(raw)  # never resolves until cancelled
+
+            def map(self, fn, argslist, *, ordered=True):
+                raise NotImplementedError
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        session = Session(arch, executor=Blocker())
+        future = session.submit(CompileJob("tiny_sequential", COARSE_OPTIONS))
+        session.close(grace=0)
+        assert future.cancelled()
+
+    def test_close_twice_after_drain_is_noop(self, canonical, arch):
+        session = Session(arch, executor="thread")
+        session.submit(
+            EvaluateJob(canonical, COARSE_OPTIONS, assume_canonical=True)
+        ).result()
+        session.close()
+        session.close()
+        assert session._runtime is None

@@ -1,0 +1,134 @@
+"""Tests for the ``async`` executor backend (repro.service.async_executor)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import ScheduleOptions, Session, paper_case_study
+from repro.core import SetGranularity
+from repro.exec import EvaluateJob, executor_names, make_executor
+from repro.frontend import preprocess
+from repro.mapping import minimum_pe_requirement
+from repro.models import tiny_sequential
+from repro.service import AsyncExecutor
+
+COARSE_OPTIONS = ScheduleOptions(granularity=SetGranularity(rows_per_set=4))
+
+
+@pytest.fixture(scope="module")
+def canonical():
+    return preprocess(tiny_sequential(), quantization=None).graph
+
+
+@pytest.fixture(scope="module")
+def arch(canonical):
+    min_pes = minimum_pe_requirement(canonical, paper_case_study(1).crossbar)
+    return paper_case_study(min_pes + 4)
+
+
+class TestRegistry:
+    def test_service_backends_registered(self):
+        names = executor_names()
+        assert "async" in names and "remote" in names
+
+    def test_make_executor_builds_async(self):
+        backend = make_executor("async", jobs=2)
+        try:
+            assert isinstance(backend, AsyncExecutor)
+            assert backend.jobs == 2
+        finally:
+            backend.shutdown()
+
+    def test_unknown_name_lists_registered_backends(self):
+        with pytest.raises(KeyError, match="unknown executor") as excinfo:
+            make_executor("warp-drive")
+        message = str(excinfo.value)
+        for name in ("inline", "thread", "process", "async", "remote"):
+            assert name in message
+        assert "register_executor" in message
+
+
+class TestAsyncExecutor:
+    def test_submit_resolves_to_value(self):
+        backend = AsyncExecutor(2)
+        try:
+            assert backend.submit(lambda a, b: a + b, 2, 3).result() == 5
+        finally:
+            backend.shutdown()
+
+    def test_exception_relayed_to_future(self):
+        backend = AsyncExecutor(1)
+        try:
+            future = backend.submit(lambda: 1 / 0)
+            assert isinstance(future.exception(), ZeroDivisionError)
+        finally:
+            backend.shutdown()
+
+    def test_concurrency_bounded_by_jobs(self):
+        backend = AsyncExecutor(2)
+        lock = threading.Lock()
+        active = [0]
+        peak = [0]
+
+        def task():
+            with lock:
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+            time.sleep(0.05)
+            with lock:
+                active[0] -= 1
+
+        try:
+            futures = [backend.submit(task) for _ in range(6)]
+            for future in futures:
+                future.result(timeout=30)
+            assert peak[0] <= 2
+        finally:
+            backend.shutdown()
+
+    def test_queued_job_cancellable(self):
+        backend = AsyncExecutor(1)
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(30)
+
+        try:
+            first = backend.submit(blocker)
+            assert started.wait(10)
+            queued = backend.submit(lambda: "ran")
+            assert queued.cancel()
+            assert queued.cancelled()
+            release.set()
+            first.result(timeout=30)
+        finally:
+            release.set()
+            backend.shutdown()
+
+    def test_map_preserves_order(self):
+        backend = AsyncExecutor(4)
+        try:
+            results = list(backend.map(lambda x: x * x, [(i,) for i in range(8)]))
+            assert results == [i * i for i in range(8)]
+        finally:
+            backend.shutdown()
+
+    def test_shutdown_idempotent_and_rejects_new_work(self):
+        backend = AsyncExecutor(1)
+        backend.submit(lambda: 1).result()
+        backend.shutdown()
+        backend.shutdown()  # no-op
+        with pytest.raises(RuntimeError, match="shut down"):
+            backend.submit(lambda: 2)
+
+    def test_session_with_async_backend_matches_inline(self, canonical, arch):
+        job = EvaluateJob(canonical, COARSE_OPTIONS, assume_canonical=True)
+        inline = Session(arch).submit(job).result()
+        with Session(arch, executor="async") as session:
+            threaded = session.submit(job).result()
+        assert threaded.ok and inline.ok
+        assert threaded.value.metrics == inline.value.metrics
+        assert threaded.value.energy == inline.value.energy

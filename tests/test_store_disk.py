@@ -288,8 +288,14 @@ class TestManifestAndStats:
         assert stats.per_stage["preprocess"][0] == 1
         assert stats.session_hits == 1
         assert stats.session_misses == 1
+        assert stats.session_writes == 1
         payload = stats.to_dict()
-        assert payload["session"] == {"hits": 1, "misses": 1, "corrupt": 0}
+        assert payload["session"] == {
+            "hits": 1,
+            "misses": 1,
+            "corrupt": 0,
+            "writes": 1,
+        }
 
     def test_reopen_existing_store_preserves_entries(self, store, canonical):
         key = _graph_key(canonical)
